@@ -1,0 +1,54 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.h"
+#include "workload/image.h"
+#include "workload/sat.h"
+#include "workload/stats.h"
+
+namespace bsio::bench {
+
+inline void banner(const std::string& fig, const std::string& setup,
+                   const std::string& expectation) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", fig.c_str());
+  std::printf("setup: %s\n", setup.c_str());
+  std::printf("paper-expected shape: %s\n", expectation.c_str());
+  std::printf("=====================================================\n");
+  std::fflush(stdout);
+}
+
+inline std::string overlap_label(double ov) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%% overlap", ov * 100.0);
+  return buf;
+}
+
+// The paper's Fig 3/4 IMAGE workload: 100 tasks, 8 files/task average.
+inline wl::Workload image_workload(double overlap, std::size_t tasks = 100,
+                                   std::size_t storage_nodes = 4,
+                                   std::uint64_t seed = 1) {
+  wl::ImageConfig cfg;
+  cfg.num_tasks = tasks;
+  cfg.num_storage_nodes = storage_nodes;
+  cfg.seed = seed;
+  return wl::make_image_calibrated(cfg, overlap).workload;
+}
+
+// The paper's Fig 3/4 SAT workload: 100 tasks, 8 files/task at high overlap
+// and 14 at medium/low.
+inline wl::Workload sat_workload(double overlap, std::size_t tasks = 100,
+                                 std::size_t storage_nodes = 4,
+                                 std::uint64_t seed = 1) {
+  wl::SatConfig cfg;
+  cfg.num_tasks = tasks;
+  cfg.num_storage_nodes = storage_nodes;
+  cfg.seed = seed;
+  if (overlap < 0.5) cfg.files_per_task = 14.0;
+  return wl::make_sat_calibrated(cfg, overlap).workload;
+}
+
+}  // namespace bsio::bench

@@ -1,0 +1,85 @@
+// Microbenchmarks of the multilevel hypergraph partitioner (google-
+// benchmark): K-way partitioning and BINW sub-batch selection across
+// hypergraph sizes. These are the inner loops behind BiPartition's
+// near-zero scheduling overhead in Fig 6(b).
+
+#include <benchmark/benchmark.h>
+
+#include "hypergraph/metrics.h"
+#include "hypergraph/partitioner.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace bsio;
+
+hg::Hypergraph random_hypergraph(std::size_t nv, std::size_t nn,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  hg::HypergraphBuilder b;
+  for (std::size_t i = 0; i < nv; ++i)
+    b.add_vertex(0.5 + rng.uniform_double());
+  for (std::size_t n = 0; n < nn; ++n) {
+    std::vector<hg::VertexId> pins;
+    std::size_t sz = 2 + rng.uniform(6);
+    for (std::size_t p = 0; p < sz; ++p)
+      pins.push_back(static_cast<hg::VertexId>(rng.uniform(nv)));
+    b.add_net(1.0 + rng.uniform_double() * 4.0, std::move(pins));
+  }
+  return b.build();
+}
+
+void BM_PartitionKway(benchmark::State& state) {
+  const auto nv = static_cast<std::size_t>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  hg::Hypergraph h = random_hypergraph(nv, 2 * nv, 42);
+  hg::PartitionerOptions opts;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    auto parts = hg::partition_kway(h, k, opts);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.counters["vertices"] = static_cast<double>(nv);
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_PartitionKway)
+    ->Args({100, 4})
+    ->Args({1000, 4})
+    ->Args({1000, 32})
+    ->Args({4000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PartitionBinw(benchmark::State& state) {
+  const auto nv = static_cast<std::size_t>(state.range(0));
+  hg::Hypergraph h = random_hypergraph(nv, 2 * nv, 7);
+  const double bound =
+      (h.total_net_weight() + h.total_folded_weight()) / state.range(1);
+  hg::PartitionerOptions opts;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    auto r = hg::partition_binw(h, bound, opts);
+    benchmark::DoNotOptimize(r.parts.data());
+  }
+}
+BENCHMARK(BM_PartitionBinw)
+    ->Args({500, 3})
+    ->Args({2000, 3})
+    ->Args({2000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ConnectivityMetric(benchmark::State& state) {
+  const auto nv = static_cast<std::size_t>(state.range(0));
+  hg::Hypergraph h = random_hypergraph(nv, 2 * nv, 13);
+  auto parts = hg::partition_kway(h, 8, {});
+  for (auto _ : state) {
+    double c = hg::connectivity_minus_one(h, parts, 8);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ConnectivityMetric)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

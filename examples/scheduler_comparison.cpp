@@ -1,0 +1,47 @@
+// Side-by-side comparison of all four scheduling schemes on one workload —
+// a miniature of the paper's Figure 3 experiment, handy for exploring how
+// the algorithms respond to overlap, cluster choice and replication.
+//
+//   $ ./scheduler_comparison [overlap%] [xio|osumed] [tasks]
+//   $ ./scheduler_comparison 85 xio 100
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/experiment.h"
+#include "workload/image.h"
+#include "workload/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace bsio;
+
+  double overlap = 0.85;
+  bool osumed = false;
+  std::size_t tasks = 100;
+  if (argc > 1) overlap = std::atof(argv[1]) / 100.0;
+  if (argc > 2) osumed = std::strcmp(argv[2], "osumed") == 0;
+  if (argc > 3) tasks = static_cast<std::size_t>(std::atoi(argv[3]));
+
+  wl::ImageConfig cfg;
+  cfg.num_tasks = tasks;
+  cfg.num_storage_nodes = 4;
+  wl::CalibrationResult cal = wl::make_image_calibrated(cfg, overlap);
+
+  core::ExperimentCase cs{
+      "IMAGE " + std::to_string(static_cast<int>(overlap * 100)) + "% on " +
+          (osumed ? "OSUMED" : "XIO"),
+      cal.workload,
+      osumed ? sim::osumed_cluster(4, 4) : sim::xio_cluster(4, 4)};
+
+  core::ExperimentOptions opts;
+  opts.run_options.ip.allocation_mip.time_limit_seconds = 10.0;
+  auto results = core::run_experiment({cs}, opts);
+
+  core::batch_time_table(results, opts.algorithms)
+      .print("batch execution time");
+  core::overhead_table(results, opts.algorithms)
+      .print("scheduling overhead");
+  core::transfer_table(results, opts.algorithms).print("data movement");
+  return 0;
+}

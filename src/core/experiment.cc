@@ -1,0 +1,86 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+
+#include "util/timer.h"
+
+namespace bsio::core {
+
+std::vector<CaseResult> run_experiment(const std::vector<ExperimentCase>& cases,
+                                       const ExperimentOptions& options) {
+  std::vector<CaseResult> results;
+  results.reserve(cases.size());
+  for (const auto& c : cases) {
+    CaseResult cr;
+    cr.label = c.label;
+    for (Algorithm a : options.algorithms) {
+      WallTimer timer;
+      cr.runs.push_back(
+          run_batch_scheduler(a, c.workload, c.cluster, options.run_options));
+      if (options.echo_progress)
+        std::fprintf(stderr, "  [%s] %-14s batch=%s wall=%.1fs\n",
+                     c.label.c_str(), algorithm_name(a),
+                     format_seconds(cr.runs.back().batch_time).c_str(),
+                     timer.elapsed_seconds());
+    }
+    results.push_back(std::move(cr));
+  }
+  return results;
+}
+
+Table batch_time_table(const std::vector<CaseResult>& results,
+                       const std::vector<Algorithm>& algorithms) {
+  std::vector<std::string> header{"case"};
+  for (Algorithm a : algorithms)
+    header.push_back(std::string(algorithm_name(a)) + " (s)");
+  for (Algorithm a : algorithms)
+    header.push_back(std::string(algorithm_name(a)) + " (rel)");
+  Table t(std::move(header));
+  for (const auto& r : results) {
+    std::vector<std::string> row{r.label};
+    const double base = r.runs.empty() ? 1.0 : r.runs.front().batch_time;
+    for (const auto& run : r.runs)
+      row.push_back(format_fixed(run.batch_time, 1));
+    for (const auto& run : r.runs)
+      row.push_back(format_fixed(run.batch_time / base, 2));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table overhead_table(const std::vector<CaseResult>& results,
+                     const std::vector<Algorithm>& algorithms) {
+  std::vector<std::string> header{"case"};
+  for (Algorithm a : algorithms)
+    header.push_back(std::string(algorithm_name(a)) + " (ms/task)");
+  Table t(std::move(header));
+  for (const auto& r : results) {
+    std::vector<std::string> row{r.label};
+    for (const auto& run : r.runs)
+      row.push_back(format_fixed(run.per_task_scheduling_ms, 3));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table transfer_table(const std::vector<CaseResult>& results,
+                     const std::vector<Algorithm>& algorithms) {
+  Table t({"case", "algorithm", "remote", "replica", "evictions", "restages",
+           "remote bytes", "replica bytes", "sub-batches"});
+  for (const auto& r : results) {
+    for (std::size_t i = 0; i < r.runs.size(); ++i) {
+      const auto& run = r.runs[i];
+      t.add_row({r.label, algorithm_name(algorithms[i]),
+                 std::to_string(run.stats.remote_transfers),
+                 std::to_string(run.stats.replications),
+                 std::to_string(run.stats.evictions),
+                 std::to_string(run.stats.restages),
+                 format_bytes(run.stats.remote_bytes),
+                 format_bytes(run.stats.replica_bytes),
+                 std::to_string(run.sub_batches)});
+    }
+  }
+  return t;
+}
+
+}  // namespace bsio::core

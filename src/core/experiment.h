@@ -1,0 +1,51 @@
+// Experiment runner shared by the bench harness: runs a list of algorithms
+// on (workload, cluster) combinations and renders the paper-style rows
+// (batch execution time per algorithm, scheduling overhead, transfer
+// counts). Each bench binary declares its sweep and delegates here.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/batch_scheduler.h"
+#include "util/table.h"
+#include "workload/types.h"
+
+namespace bsio::core {
+
+struct ExperimentCase {
+  std::string label;  // e.g. "high overlap" or "500 tasks"
+  wl::Workload workload;
+  sim::ClusterConfig cluster;
+};
+
+struct CaseResult {
+  std::string label;
+  std::vector<sched::BatchRunResult> runs;  // aligned with algorithms
+};
+
+struct ExperimentOptions {
+  std::vector<Algorithm> algorithms = all_algorithms();
+  RunOptions run_options;
+  bool echo_progress = true;  // one stderr line per (case, algorithm)
+};
+
+// Runs every algorithm on every case.
+std::vector<CaseResult> run_experiment(const std::vector<ExperimentCase>& cases,
+                                       const ExperimentOptions& options = {});
+
+// Renders "case x algorithm -> batch time (s)" (the shape of Figs 3-5) and
+// appends normalised columns (relative to the first algorithm).
+Table batch_time_table(const std::vector<CaseResult>& results,
+                       const std::vector<Algorithm>& algorithms);
+
+// Renders per-task scheduling overhead in ms (the shape of Fig 6b).
+Table overhead_table(const std::vector<CaseResult>& results,
+                     const std::vector<Algorithm>& algorithms);
+
+// Renders transfer statistics (remote/replica counts, bytes, evictions).
+Table transfer_table(const std::vector<CaseResult>& results,
+                     const std::vector<Algorithm>& algorithms);
+
+}  // namespace bsio::core

@@ -1,0 +1,54 @@
+#include "hypergraph/bisect.h"
+
+#include <algorithm>
+
+#include "hypergraph/coarsen.h"
+#include "hypergraph/initial.h"
+
+namespace bsio::hg {
+
+std::vector<int> multilevel_bisect(const Hypergraph& h, double ratio0,
+                                   const PartitionerOptions& opts, Rng& rng) {
+  BSIO_CHECK(ratio0 > 0.0 && ratio0 < 1.0);
+  const std::size_t nv = h.num_vertices();
+  if (nv == 0) return {};
+  if (nv == 1) return {0};
+
+  // Coarsening pyramid. levels[0] maps h's vertices to levels[0].coarse.
+  std::vector<CoarseLevel> levels;
+  const Hypergraph* cur = &h;
+  const double max_cluster =
+      h.total_vertex_weight() *
+      std::min(ratio0, 1.0 - ratio0) * opts.max_cluster_weight_ratio;
+  while (cur->num_vertices() > opts.coarsen_until) {
+    CoarseLevel level = coarsen_once(*cur, rng, max_cluster);
+    if (level.coarse.num_vertices() >=
+        static_cast<std::size_t>(opts.min_shrink_factor *
+                                 static_cast<double>(cur->num_vertices())))
+      break;  // stalled
+    levels.push_back(std::move(level));
+    cur = &levels.back().coarse;
+  }
+
+  BisectionConstraint c =
+      make_constraint(h.total_vertex_weight(), ratio0, opts.epsilon);
+
+  std::vector<int> side =
+      initial_bisection(*cur, c, rng, opts.initial_tries);
+  fm_refine(*cur, side, c, rng, opts.refine_passes);
+
+  // Project back up, refining at each level.
+  for (std::size_t li = levels.size(); li > 0; --li) {
+    const CoarseLevel& level = levels[li - 1];
+    const Hypergraph& fine =
+        li >= 2 ? levels[li - 2].coarse : h;
+    std::vector<int> fine_side(fine.num_vertices());
+    for (VertexId v = 0; v < fine.num_vertices(); ++v)
+      fine_side[v] = side[level.fine_to_coarse[v]];
+    side = std::move(fine_side);
+    fm_refine(fine, side, c, rng, opts.refine_passes);
+  }
+  return side;
+}
+
+}  // namespace bsio::hg

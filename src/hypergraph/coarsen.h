@@ -1,0 +1,22 @@
+// Coarsening phase: heavy-connectivity agglomerative clustering (the PaToH
+// default). Vertices are visited in random order and absorbed into the
+// neighbouring cluster with the strongest net connectivity, subject to a
+// cluster weight cap. Contraction merges identical nets (summing weights)
+// and folds nets that shrink to one pin into the pin's folded weight.
+#pragma once
+
+#include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+
+namespace bsio::hg {
+
+struct CoarseLevel {
+  Hypergraph coarse;
+  // fine vertex -> coarse vertex
+  std::vector<VertexId> fine_to_coarse;
+};
+
+CoarseLevel coarsen_once(const Hypergraph& h, Rng& rng,
+                         double max_cluster_weight);
+
+}  // namespace bsio::hg

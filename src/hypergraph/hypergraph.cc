@@ -1,0 +1,92 @@
+#include "hypergraph/hypergraph.h"
+
+#include <algorithm>
+
+namespace bsio::hg {
+
+double Hypergraph::total_vertex_weight() const {
+  double s = 0.0;
+  for (double w : vertex_weight_) s += w;
+  return s;
+}
+
+double Hypergraph::total_net_weight() const {
+  double s = 0.0;
+  for (double w : net_weight_) s += w;
+  return s;
+}
+
+double Hypergraph::total_folded_weight() const {
+  double s = 0.0;
+  for (double w : folded_net_weight_) s += w;
+  return s;
+}
+
+void Hypergraph::validate() const {
+  BSIO_CHECK(xpins_.size() == num_nets() + 1);
+  BSIO_CHECK(xnets_.size() == num_vertices() + 1);
+  BSIO_CHECK(xpins_.back() == pins_.size());
+  BSIO_CHECK(xnets_.back() == nets_.size());
+  BSIO_CHECK(pins_.size() == nets_.size());
+  for (NetId n = 0; n < num_nets(); ++n) {
+    BSIO_CHECK_MSG(net_size(n) >= 2, "built hypergraph must have no tiny nets");
+    for (VertexId v : pins(n)) BSIO_CHECK(v < num_vertices());
+  }
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    for (NetId n : nets(v)) BSIO_CHECK(n < num_nets());
+}
+
+VertexId HypergraphBuilder::add_vertex(double weight, double folded_weight) {
+  vertex_weight_.push_back(weight);
+  folded_weight_.push_back(folded_weight);
+  return static_cast<VertexId>(vertex_weight_.size() - 1);
+}
+
+void HypergraphBuilder::add_net(double weight, std::vector<VertexId> pins) {
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+  for (VertexId v : pins)
+    BSIO_CHECK_MSG(v < vertex_weight_.size(), "net pin references no vertex");
+  if (pins.empty()) return;
+  if (pins.size() == 1) {
+    folded_weight_[pins[0]] += weight;
+    return;
+  }
+  net_weight_.push_back(weight);
+  net_pins_.push_back(std::move(pins));
+}
+
+Hypergraph HypergraphBuilder::build() {
+  Hypergraph h;
+  h.vertex_weight_ = std::move(vertex_weight_);
+  h.folded_net_weight_ = std::move(folded_weight_);
+  h.net_weight_ = std::move(net_weight_);
+
+  h.xpins_.assign(1, 0);
+  h.xpins_.reserve(net_pins_.size() + 1);
+  std::size_t total = 0;
+  for (const auto& p : net_pins_) total += p.size();
+  h.pins_.reserve(total);
+  for (const auto& p : net_pins_) {
+    h.pins_.insert(h.pins_.end(), p.begin(), p.end());
+    h.xpins_.push_back(h.pins_.size());
+  }
+
+  // Build the vertex -> nets CSR by counting sort.
+  const std::size_t nv = h.vertex_weight_.size();
+  std::vector<std::size_t> deg(nv, 0);
+  for (const auto& p : net_pins_)
+    for (VertexId v : p) ++deg[v];
+  h.xnets_.assign(nv + 1, 0);
+  for (std::size_t v = 0; v < nv; ++v) h.xnets_[v + 1] = h.xnets_[v] + deg[v];
+  h.nets_.resize(h.pins_.size());
+  std::vector<std::size_t> cursor(h.xnets_.begin(), h.xnets_.end() - 1);
+  for (NetId n = 0; n < net_pins_.size(); ++n)
+    for (VertexId v : net_pins_[n]) h.nets_[cursor[v]++] = n;
+
+  net_pins_.clear();
+  h.validate();
+  return h;
+}
+
+}  // namespace bsio::hg

@@ -1,0 +1,114 @@
+#include "hypergraph/initial.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "hypergraph/metrics.h"
+
+namespace bsio::hg {
+
+namespace {
+
+// Grow part 0 from a seed by repeatedly absorbing the unassigned vertex with
+// the highest attraction (sum of weights of nets already touching part 0)
+// until part 0 reaches its target weight.
+std::vector<int> grow_from_seed(const Hypergraph& h,
+                                const BisectionConstraint& c, VertexId seed,
+                                Rng& rng) {
+  const std::size_t nv = h.num_vertices();
+  std::vector<int> side(nv, 1);
+  std::vector<double> attraction(nv, 0.0);
+  std::vector<bool> in0(nv, false);
+
+  double w0 = 0.0;
+  VertexId next = seed;
+  while (next != static_cast<VertexId>(-1)) {
+    side[next] = 0;
+    in0[next] = true;
+    w0 += h.vertex_weight(next);
+    if (w0 >= c.target0) break;
+    for (NetId n : h.nets(next))
+      for (VertexId u : h.pins(n))
+        if (!in0[u]) attraction[u] += h.net_weight(n);
+
+    // Pick the most attracted unassigned vertex; random among untouched if
+    // the frontier is empty (disconnected hypergraph).
+    next = static_cast<VertexId>(-1);
+    double best = -1.0;
+    for (VertexId u = 0; u < nv; ++u) {
+      if (in0[u]) continue;
+      if (attraction[u] > best) {
+        best = attraction[u];
+        next = u;
+      }
+    }
+    if (next != static_cast<VertexId>(-1) && best == 0.0) {
+      // No frontier: jump to a random unassigned vertex.
+      std::vector<VertexId> free;
+      for (VertexId u = 0; u < nv; ++u)
+        if (!in0[u]) free.push_back(u);
+      next = free[rng.uniform(free.size())];
+    }
+  }
+  return side;
+}
+
+std::vector<int> random_bisection(const Hypergraph& h,
+                                  const BisectionConstraint& c, Rng& rng) {
+  const std::size_t nv = h.num_vertices();
+  std::vector<VertexId> order(nv);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<int> side(nv, 1);
+  double w0 = 0.0;
+  for (VertexId v : order) {
+    if (w0 >= c.target0) break;
+    side[v] = 0;
+    w0 += h.vertex_weight(v);
+  }
+  return side;
+}
+
+struct Candidate {
+  std::vector<int> side;
+  double cut = std::numeric_limits<double>::infinity();
+  bool feasible = false;
+};
+
+bool better(const Candidate& a, const Candidate& b) {
+  if (a.feasible != b.feasible) return a.feasible;
+  return a.cut < b.cut;
+}
+
+}  // namespace
+
+std::vector<int> initial_bisection(const Hypergraph& h,
+                                   const BisectionConstraint& c, Rng& rng,
+                                   int tries) {
+  const std::size_t nv = h.num_vertices();
+  BSIO_CHECK(nv >= 1);
+
+  auto evaluate = [&](std::vector<int> side) {
+    Candidate cand;
+    double w0 = 0.0, w1 = 0.0;
+    for (VertexId v = 0; v < nv; ++v)
+      (side[v] == 0 ? w0 : w1) += h.vertex_weight(v);
+    cand.feasible = w0 <= c.max0 && w1 <= c.max1;
+    cand.cut = cut_net_weight(h, side, 2);
+    cand.side = std::move(side);
+    return cand;
+  };
+
+  Candidate best;
+  for (int t = 0; t < tries; ++t) {
+    VertexId seed = static_cast<VertexId>(rng.uniform(nv));
+    Candidate cand = evaluate(grow_from_seed(h, c, seed, rng));
+    if (better(cand, best)) best = std::move(cand);
+  }
+  Candidate rnd = evaluate(random_bisection(h, c, rng));
+  if (better(rnd, best)) best = std::move(rnd);
+  return std::move(best.side);
+}
+
+}  // namespace bsio::hg

@@ -1,0 +1,16 @@
+// Initial bisection on the coarsest hypergraph: greedy hypergraph growing
+// (GHG) from random seeds, plus a random-assignment fallback; the best of
+// several tries (by cut weight, feasible-balance first) is returned.
+#pragma once
+
+#include "hypergraph/fm.h"
+#include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+
+namespace bsio::hg {
+
+std::vector<int> initial_bisection(const Hypergraph& h,
+                                   const BisectionConstraint& c, Rng& rng,
+                                   int tries);
+
+}  // namespace bsio::hg

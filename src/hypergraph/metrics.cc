@@ -1,0 +1,94 @@
+#include "hypergraph/metrics.h"
+
+#include <algorithm>
+
+namespace bsio::hg {
+
+namespace {
+
+// Applies fn(net, lambda) for every net; lambda = #parts the net touches.
+template <typename Fn>
+void for_each_lambda(const Hypergraph& h, const std::vector<int>& parts, int k,
+                     Fn&& fn) {
+  std::vector<int> seen(static_cast<std::size_t>(k), -1);
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    int lambda = 0;
+    for (VertexId v : h.pins(n)) {
+      int p = parts[v];
+      BSIO_DCHECK(p >= 0 && p < k);
+      if (seen[static_cast<std::size_t>(p)] != static_cast<int>(n)) {
+        seen[static_cast<std::size_t>(p)] = static_cast<int>(n);
+        ++lambda;
+      }
+    }
+    fn(n, lambda);
+  }
+}
+
+}  // namespace
+
+double connectivity_minus_one(const Hypergraph& h,
+                              const std::vector<int>& parts, int k) {
+  double cost = 0.0;
+  for_each_lambda(h, parts, k, [&](NetId n, int lambda) {
+    cost += h.net_weight(n) * static_cast<double>(lambda - 1);
+  });
+  return cost;
+}
+
+double cut_net_weight(const Hypergraph& h, const std::vector<int>& parts,
+                      int k) {
+  double cost = 0.0;
+  for_each_lambda(h, parts, k, [&](NetId n, int lambda) {
+    if (lambda > 1) cost += h.net_weight(n);
+  });
+  return cost;
+}
+
+std::vector<double> part_weights(const Hypergraph& h,
+                                 const std::vector<int>& parts, int k) {
+  std::vector<double> w(static_cast<std::size_t>(k), 0.0);
+  for (VertexId v = 0; v < h.num_vertices(); ++v)
+    w[static_cast<std::size_t>(parts[v])] += h.vertex_weight(v);
+  return w;
+}
+
+double imbalance(const Hypergraph& h, const std::vector<int>& parts, int k) {
+  auto w = part_weights(h, parts, k);
+  double total = 0.0;
+  for (double x : w) total += x;
+  if (total <= 0.0) return 0.0;
+  double avg = total / k;
+  double mx = *std::max_element(w.begin(), w.end());
+  return mx / avg - 1.0;
+}
+
+std::vector<double> incident_net_weights(const Hypergraph& h,
+                                         const std::vector<int>& parts,
+                                         int k) {
+  std::vector<double> w(static_cast<std::size_t>(k), 0.0);
+  std::vector<int> seen(static_cast<std::size_t>(k), -1);
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    for (VertexId v : h.pins(n)) {
+      auto p = static_cast<std::size_t>(parts[v]);
+      if (seen[p] != static_cast<int>(n)) {
+        seen[p] = static_cast<int>(n);
+        w[p] += h.net_weight(n);
+      }
+    }
+  }
+  for (VertexId v = 0; v < h.num_vertices(); ++v)
+    w[static_cast<std::size_t>(parts[v])] += h.folded_net_weight(v);
+  return w;
+}
+
+std::size_t num_cut_nets(const Hypergraph& h, const std::vector<int>& parts,
+                         int k) {
+  std::size_t cut = 0;
+  for_each_lambda(h, parts, k, [&](NetId, int lambda) {
+    if (lambda > 1) ++cut;
+  });
+  return cut;
+}
+
+}  // namespace bsio::hg

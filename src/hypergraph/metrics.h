@@ -1,0 +1,40 @@
+// Partition quality metrics: connectivity-1 cost (Eq. 23), cut-net cost,
+// balance, and per-part incident net weight (the BINW bound, Eq. 24).
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace bsio::hg {
+
+inline constexpr int kUnassigned = -1;
+
+// parts[v] in [0, k) (kUnassigned not allowed here).
+// Sum over cut nets of w(n) * (lambda(n) - 1).
+double connectivity_minus_one(const Hypergraph& h,
+                              const std::vector<int>& parts, int k);
+
+// Sum over cut nets of w(n).
+double cut_net_weight(const Hypergraph& h, const std::vector<int>& parts,
+                      int k);
+
+// Per-part vertex weight sums.
+std::vector<double> part_weights(const Hypergraph& h,
+                                 const std::vector<int>& parts, int k);
+
+// max_p W_p / (W_total / k) - 1; 0 means perfectly balanced.
+double imbalance(const Hypergraph& h, const std::vector<int>& parts, int k);
+
+// Per-part incident net weight: for part p, the sum over nets with at least
+// one pin in p of w(n), plus the folded weights of p's vertices. A net
+// incident to multiple parts contributes its full weight to each (it must be
+// materialised in each sub-batch).
+std::vector<double> incident_net_weights(const Hypergraph& h,
+                                         const std::vector<int>& parts, int k);
+
+// Number of nets with lambda > 1.
+std::size_t num_cut_nets(const Hypergraph& h, const std::vector<int>& parts,
+                         int k);
+
+}  // namespace bsio::hg

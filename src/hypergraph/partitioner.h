@@ -1,0 +1,55 @@
+// Public options + entry points of the multilevel hypergraph partitioner.
+//
+// partition_kway: K-way partitioning via multilevel recursive bisection with
+// net splitting, minimising the connectivity-1 metric under a vertex-weight
+// balance constraint — the second-level (task mapping) partitioner of the
+// BiPartition scheduler.
+//
+// partition_binw: Bounded-Incident-Net-Weight partitioning — the first-level
+// (sub-batch selection) partitioner. The number of parts is not fixed;
+// instead every part's incident net weight (file bytes it must stage,
+// including folded size-1 net weights) is bounded by `bound`, and the
+// partitioner recursively bisects, minimising cut, until the bound holds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace bsio::hg {
+
+struct PartitionerOptions {
+  // Allowed imbalance ratio epsilon: part weight <= avg * (1 + epsilon).
+  double epsilon = 0.10;
+  std::uint64_t seed = 1;
+  // Stop coarsening when at most this many vertices remain.
+  std::size_t coarsen_until = 96;
+  // Coarsening stalls if a level shrinks by less than this factor.
+  double min_shrink_factor = 0.95;
+  // Independent greedy-growing tries for the initial bisection.
+  int initial_tries = 8;
+  // FM refinement passes per level.
+  int refine_passes = 6;
+  // Cap on a single cluster's weight during coarsening, as a multiple of the
+  // perfectly balanced part weight (prevents giant clusters that make
+  // balanced initial partitions impossible).
+  double max_cluster_weight_ratio = 0.25;
+};
+
+// Returns parts[v] in [0, k). k >= 1; k need not be a power of two.
+std::vector<int> partition_kway(const Hypergraph& h, int k,
+                                const PartitionerOptions& opts);
+
+struct BinwResult {
+  std::vector<int> parts;  // parts[v] in [0, num_parts)
+  int num_parts = 0;
+};
+
+// Every part's incident net weight is <= bound. Requires that every single
+// vertex's own incident weight fits the bound (the paper's "disk can hold
+// any single task's files" assumption); aborts otherwise.
+BinwResult partition_binw(const Hypergraph& h, double bound,
+                          const PartitionerOptions& opts);
+
+}  // namespace bsio::hg

@@ -1,0 +1,84 @@
+#include "hypergraph/recursive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hypergraph/bisect.h"
+#include "hypergraph/metrics.h"
+
+namespace bsio::hg {
+
+Hypergraph extract_side(const Hypergraph& h, const std::vector<int>& side,
+                        int which, std::vector<VertexId>& orig_of) {
+  constexpr VertexId kNone = static_cast<VertexId>(-1);
+  const std::size_t nv = h.num_vertices();
+  std::vector<VertexId> remap(nv, kNone);
+  orig_of.clear();
+  for (VertexId v = 0; v < nv; ++v) {
+    if (side[v] == which) {
+      remap[v] = static_cast<VertexId>(orig_of.size());
+      orig_of.push_back(v);
+    }
+  }
+
+  HypergraphBuilder b;
+  for (VertexId v : orig_of)
+    b.add_vertex(h.vertex_weight(v), h.folded_net_weight(v));
+
+  std::vector<VertexId> pins;
+  for (NetId n = 0; n < h.num_nets(); ++n) {
+    pins.clear();
+    for (VertexId v : h.pins(n))
+      if (remap[v] != kNone) pins.push_back(remap[v]);
+    // add_net folds size-1 remnants into the pin's folded weight and drops
+    // empty ones — exactly the net-splitting bookkeeping we need.
+    b.add_net(h.net_weight(n), pins);
+  }
+  return b.build();
+}
+
+namespace {
+
+void recurse(const Hypergraph& h, int k, int part_offset,
+             const PartitionerOptions& opts, Rng& rng,
+             const std::vector<VertexId>& orig_of, std::vector<int>& out) {
+  if (h.num_vertices() == 0) return;
+  if (k == 1) {
+    for (VertexId v : orig_of) out[v] = part_offset;
+    return;
+  }
+  const int k0 = k / 2;
+  const int k1 = k - k0;
+  const double ratio0 = static_cast<double>(k0) / static_cast<double>(k);
+
+  // Tighten epsilon with depth so accumulated imbalance stays within the
+  // caller's bound (standard recursive-bisection practice).
+  PartitionerOptions sub = opts;
+  sub.epsilon = opts.epsilon / std::max(1.0, std::log2(static_cast<double>(k)));
+
+  std::vector<int> side = multilevel_bisect(h, ratio0, sub, rng);
+
+  std::vector<VertexId> orig0, orig1;
+  Hypergraph h0 = extract_side(h, side, 0, orig0);
+  Hypergraph h1 = extract_side(h, side, 1, orig1);
+  for (auto& v : orig0) v = orig_of[v];
+  for (auto& v : orig1) v = orig_of[v];
+  recurse(h0, k0, part_offset, opts, rng, orig0, out);
+  recurse(h1, k1, part_offset + k0, opts, rng, orig1, out);
+}
+
+}  // namespace
+
+std::vector<int> partition_kway(const Hypergraph& h, int k,
+                                const PartitionerOptions& opts) {
+  BSIO_CHECK(k >= 1);
+  std::vector<int> out(h.num_vertices(), 0);
+  if (k == 1 || h.num_vertices() == 0) return out;
+  Rng rng(opts.seed);
+  std::vector<VertexId> identity(h.num_vertices());
+  for (VertexId v = 0; v < h.num_vertices(); ++v) identity[v] = v;
+  recurse(h, k, 0, opts, rng, identity, out);
+  return out;
+}
+
+}  // namespace bsio::hg

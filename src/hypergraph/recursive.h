@@ -1,0 +1,20 @@
+// Recursive-bisection K-way partitioning with net splitting (PaToH style):
+// after each bisection, cut nets are split into per-side copies so that
+// deeper cuts of the same net are charged again — this makes the sum of
+// bisection cut weights equal the K-way connectivity-1 cost.
+#pragma once
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/partitioner.h"
+#include "util/rng.h"
+
+namespace bsio::hg {
+
+// Extracts the sub-hypergraph induced by the vertices with side[v] == which,
+// splitting nets and folding nets that shrink below 2 pins. Returns the sub
+// hypergraph and fills orig_of with the original vertex id of each sub
+// vertex.
+Hypergraph extract_side(const Hypergraph& h, const std::vector<int>& side,
+                        int which, std::vector<VertexId>& orig_of);
+
+}  // namespace bsio::hg

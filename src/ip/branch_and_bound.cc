@@ -1,0 +1,207 @@
+#include "ip/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace bsio::ip {
+
+namespace {
+
+struct Frame {
+  int var = -1;
+  double old_lo = 0.0, old_up = 0.0;
+  // Children: fix to [old_lo, floor] and [ceil, old_up]. first_child is the
+  // side the LP value rounds to; tried counts how many were explored.
+  double floor_val = 0.0, ceil_val = 0.0;
+  int first_child = 0;  // 0 = down (floor) first, 1 = up (ceil) first
+  int tried = 0;
+  double lp_bound = 0.0;  // LP objective at this node (bound for subtree)
+};
+
+}  // namespace
+
+MipSolver::MipSolver(const lp::Model& model, std::vector<int> integer_vars)
+    : model_(model), integer_vars_(std::move(integer_vars)) {
+  for (int v : integer_vars_)
+    BSIO_CHECK(v >= 0 && v < model_.num_vars());
+}
+
+bool MipSolver::set_incumbent(const std::vector<double>& x) {
+  if (!model_.is_feasible(x)) return false;
+  for (int v : integer_vars_)
+    if (std::abs(x[v] - std::round(x[v])) > 1e-6) return false;
+  double obj = model_.objective_value(x);
+  if (obj < incumbent_obj_) {
+    incumbent_ = x;
+    incumbent_obj_ = obj;
+  }
+  return true;
+}
+
+MipResult MipSolver::solve(const MipOptions& opts) {
+  WallTimer timer;
+  MipResult res;
+  lp::DualSimplex lp(model_, opts.simplex);
+
+  std::vector<Frame> stack;
+  double root_bound = -std::numeric_limits<double>::infinity();
+
+  auto cutoff = [&]() {
+    return incumbent_obj_ -
+           std::max(opts.gap_abs, std::abs(incumbent_obj_) * opts.gap_rel);
+  };
+
+  auto try_rounding = [&](const std::vector<double>& x) {
+    std::vector<double> r = x;
+    for (int v : integer_vars_) {
+      r[v] = std::round(r[v]);
+      r[v] = std::clamp(r[v], model_.lower(v), model_.upper(v));
+    }
+    if (!model_.is_feasible(r)) return;
+    double obj = model_.objective_value(r);
+    if (obj < incumbent_obj_) {
+      incumbent_obj_ = obj;
+      incumbent_ = std::move(r);
+    }
+  };
+
+  bool limit_hit = false;
+  bool backtracking = false;
+  bool clean = true;  // false if any node LP failed numerically
+
+  while (true) {
+    if (!backtracking) {
+      // Evaluate the current node.
+      if (res.nodes >= opts.max_nodes ||
+          timer.elapsed_seconds() > opts.time_limit_seconds) {
+        limit_hit = true;
+        break;
+      }
+      ++res.nodes;
+      // Bound each node's LP by the remaining B&B budget so one large LP
+      // cannot blow past the caller's time limit.
+      lp.set_time_limit(
+          std::max(0.05, opts.time_limit_seconds - timer.elapsed_seconds()));
+      lp::SolveResult sr = lp.solve();
+      res.lp_iterations += sr.iterations;
+
+      bool prune = false;
+      if (sr.status == lp::SolveStatus::kInfeasible) {
+        prune = true;
+      } else if (sr.status == lp::SolveStatus::kIterLimit &&
+                 timer.elapsed_seconds() > opts.time_limit_seconds) {
+        // Deadline expired inside the LP: stop cleanly with the incumbent.
+        limit_hit = true;
+        break;
+      } else if (sr.status != lp::SolveStatus::kOptimal) {
+        // Numerical trouble / iteration limit: treat the node as unbounded
+        // below (cannot prune safely) unless we have no way to proceed.
+        BSIO_LOG(kWarn) << "B&B node LP did not solve to optimality (status "
+                        << static_cast<int>(sr.status) << "); pruning";
+        clean = false;
+        prune = true;  // keep going; final status is downgraded below
+      } else {
+        if (stack.empty())
+          root_bound = sr.objective;
+        if (sr.objective >= cutoff()) {
+          prune = true;
+        } else {
+          std::vector<double> x = lp.values();
+          // Branch variable: most fractional.
+          int branch_var = -1;
+          double best_frac_dist = opts.int_tol;
+          for (int v : integer_vars_) {
+            double f = x[v] - std::floor(x[v]);
+            double dist = std::min(f, 1.0 - f);
+            if (dist > best_frac_dist) {
+              best_frac_dist = dist;
+              branch_var = v;
+            }
+          }
+          if (branch_var < 0) {
+            // Integral: candidate incumbent.
+            for (int v : integer_vars_) x[v] = std::round(x[v]);
+            if (model_.is_feasible(x)) {
+              double obj = model_.objective_value(x);
+              if (obj < incumbent_obj_) {
+                incumbent_obj_ = obj;
+                incumbent_ = std::move(x);
+              }
+            }
+            prune = true;
+          } else {
+            if (opts.heuristic_every > 0 &&
+                res.nodes % opts.heuristic_every == 0)
+              try_rounding(x);
+            // Push a branching frame and descend into the first child.
+            Frame f;
+            f.var = branch_var;
+            f.old_lo = lp.lower(branch_var);
+            f.old_up = lp.upper(branch_var);
+            f.floor_val = std::floor(x[branch_var]);
+            f.ceil_val = f.floor_val + 1.0;
+            f.first_child =
+                (x[branch_var] - f.floor_val) <= 0.5 ? 0 : 1;
+            f.tried = 0;
+            f.lp_bound = sr.objective;
+            stack.push_back(f);
+            Frame& top = stack.back();
+            int child = top.first_child;
+            ++top.tried;
+            if (child == 0)
+              lp.set_bounds(top.var, top.old_lo, top.floor_val);
+            else
+              lp.set_bounds(top.var, top.ceil_val, top.old_up);
+            continue;
+          }
+        }
+      }
+      if (prune) backtracking = true;
+      continue;
+    }
+
+    // Backtrack: find the deepest frame with an untried child.
+    if (stack.empty()) break;
+    Frame& top = stack.back();
+    if (top.tried >= 2 || top.lp_bound >= cutoff()) {
+      lp.set_bounds(top.var, top.old_lo, top.old_up);
+      stack.pop_back();
+      continue;
+    }
+    int child = 1 - top.first_child;
+    ++top.tried;
+    if (child == 0)
+      lp.set_bounds(top.var, top.old_lo, top.floor_val);
+    else
+      lp.set_bounds(top.var, top.ceil_val, top.old_up);
+    backtracking = false;
+  }
+
+  res.solve_seconds = timer.elapsed_seconds();
+  res.objective = incumbent_obj_;
+  res.x = incumbent_;
+  if (!limit_hit) {
+    if (incumbent_.empty()) {
+      res.status = clean ? MipStatus::kInfeasible : MipStatus::kNoSolution;
+      res.best_bound = std::numeric_limits<double>::infinity();
+    } else {
+      res.status = clean ? MipStatus::kOptimal : MipStatus::kFeasible;
+      res.best_bound = incumbent_obj_;
+    }
+  } else {
+    // Bound = min over open subtree bounds and the root relaxation.
+    double bound = incumbent_obj_;
+    for (const Frame& f : stack) bound = std::min(bound, f.lp_bound);
+    if (stack.empty()) bound = std::min(bound, root_bound);
+    res.best_bound = bound;
+    res.status =
+        incumbent_.empty() ? MipStatus::kNoSolution : MipStatus::kFeasible;
+  }
+  return res;
+}
+
+}  // namespace bsio::ip

@@ -1,0 +1,69 @@
+// 0-1 (mixed) integer programming by LP-based branch and bound.
+//
+// Depth-first search with dual-simplex warm starts: branching only changes
+// variable bounds, so every node re-optimises from its parent's basis in a
+// handful of pivots. A rounding heuristic probes for incumbents at every
+// node, and the caller can seed an incumbent (the IP scheduler seeds the
+// BiPartition solution) so time-limited runs are never worse than the
+// heuristic on the model objective — mirroring how the paper's lp_solve
+// setup degrades gracefully on large instances.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace bsio::ip {
+
+struct MipOptions {
+  double time_limit_seconds = 30.0;
+  long max_nodes = 1000000;
+  double int_tol = 1e-6;
+  // Prune when node bound >= incumbent - max(gap_abs, |incumbent|*gap_rel).
+  double gap_abs = 1e-9;
+  double gap_rel = 1e-6;
+  // Run the rounding heuristic every k-th node (0 disables).
+  int heuristic_every = 1;
+  lp::SimplexOptions simplex;
+};
+
+enum class MipStatus {
+  kOptimal,     // incumbent proven optimal (within gap)
+  kFeasible,    // limit hit with an incumbent in hand
+  kInfeasible,  // proven infeasible
+  kNoSolution,  // limit hit before any incumbent was found
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::kNoSolution;
+  std::vector<double> x;  // incumbent values (structural variables)
+  double objective = std::numeric_limits<double>::infinity();
+  double best_bound = -std::numeric_limits<double>::infinity();
+  long nodes = 0;
+  long lp_iterations = 0;
+  double solve_seconds = 0.0;
+};
+
+class MipSolver {
+ public:
+  // `model` must outlive the solver; integer_vars lists the variables
+  // required to take integral values (binaries in all of this library's
+  // models).
+  MipSolver(const lp::Model& model, std::vector<int> integer_vars);
+
+  // Seeds an incumbent. The point is verified against the model; infeasible
+  // seeds are ignored (returns false).
+  bool set_incumbent(const std::vector<double>& x);
+
+  MipResult solve(const MipOptions& opts = MipOptions());
+
+ private:
+  const lp::Model& model_;
+  std::vector<int> integer_vars_;
+  std::vector<double> incumbent_;
+  double incumbent_obj_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace bsio::ip

@@ -1,0 +1,56 @@
+#include "lp/model.h"
+
+#include <cmath>
+
+namespace bsio::lp {
+
+int Model::add_var(double cost, double lo, double up) {
+  BSIO_CHECK_MSG(lo <= up, "variable bounds crossed");
+  cost_.push_back(cost);
+  lo_.push_back(lo);
+  up_.push_back(up);
+  return static_cast<int>(cost_.size()) - 1;
+}
+
+void Model::add_row(Sense sense, double rhs, std::vector<RowEntry> entries) {
+  for (const auto& e : entries)
+    BSIO_CHECK_MSG(e.var >= 0 && e.var < num_vars(), "row references no var");
+  sense_.push_back(sense);
+  rhs_.push_back(rhs);
+  rows_.push_back(std::move(entries));
+}
+
+double Model::row_activity(int r, const std::vector<double>& x) const {
+  double a = 0.0;
+  for (const auto& e : rows_[r]) a += e.coef * x[e.var];
+  return a;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tol) const {
+  if (static_cast<int>(x.size()) != num_vars()) return false;
+  for (int v = 0; v < num_vars(); ++v)
+    if (x[v] < lo_[v] - tol || x[v] > up_[v] + tol) return false;
+  for (int r = 0; r < num_rows(); ++r) {
+    double a = row_activity(r, x);
+    switch (sense_[r]) {
+      case Sense::kLe:
+        if (a > rhs_[r] + tol) return false;
+        break;
+      case Sense::kGe:
+        if (a < rhs_[r] - tol) return false;
+        break;
+      case Sense::kEq:
+        if (std::abs(a - rhs_[r]) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double obj = 0.0;
+  for (int v = 0; v < num_vars(); ++v) obj += cost_[v] * x[v];
+  return obj;
+}
+
+}  // namespace bsio::lp

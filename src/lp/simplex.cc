@@ -1,0 +1,429 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace bsio::lp {
+
+DualSimplex::DualSimplex(const Model& model, const SimplexOptions& opts)
+    : model_(model), opts_(opts) {
+  n_ = model.num_vars();
+  m_ = model.num_rows();
+  total_ = n_ + m_;
+  if (opts_.refactor_every <= 0) {
+    // Refactorisation costs O(m^3), a pivot update O(m^2): amortise the
+    // refactorisation to at most ~one pivot's worth of work, with a floor
+    // that keeps small models numerically fresh.
+    opts_.refactor_every = std::max(64, m_);
+  }
+  build_columns(model);
+  reset_to_slack_basis();
+}
+
+void DualSimplex::build_columns(const Model& model) {
+  col_idx_.assign(total_, {});
+  col_val_.assign(total_, {});
+  cost_.assign(total_, 0.0);
+  lo_.assign(total_, 0.0);
+  up_.assign(total_, 0.0);
+  b_.assign(m_, 0.0);
+
+  for (int v = 0; v < n_; ++v) {
+    cost_[v] = model.cost(v);
+    lo_[v] = model.lower(v);
+    up_[v] = model.upper(v);
+    BSIO_CHECK_MSG(std::isfinite(lo_[v]) || std::isfinite(up_[v]),
+                   "free structural variables are not supported");
+  }
+  for (int r = 0; r < m_; ++r) {
+    b_[r] = model.rhs(r);
+    for (const auto& e : model.row(r)) {
+      if (e.coef == 0.0) continue;
+      col_idx_[e.var].push_back(r);
+      col_val_[e.var].push_back(e.coef);
+    }
+    const int s = n_ + r;
+    col_idx_[s].push_back(r);
+    col_val_[s].push_back(1.0);
+    switch (model.sense(r)) {
+      case Sense::kLe:
+        lo_[s] = 0.0;
+        up_[s] = kInf;
+        break;
+      case Sense::kGe:
+        lo_[s] = -kInf;
+        up_[s] = 0.0;
+        break;
+      case Sense::kEq:
+        lo_[s] = up_[s] = 0.0;
+        break;
+    }
+  }
+}
+
+void DualSimplex::reset_to_slack_basis() {
+  basic_.resize(m_);
+  basic_pos_.assign(total_, -1);
+  state_.assign(total_, kAtLower);
+  for (int r = 0; r < m_; ++r) {
+    basic_[r] = n_ + r;
+    basic_pos_[n_ + r] = r;
+    state_[n_ + r] = kBasic;
+  }
+  for (int v = 0; v < n_; ++v) {
+    // Park at the dual-feasible bound: cost >= 0 wants the lower bound.
+    bool prefer_lower = cost_[v] >= 0.0;
+    if (prefer_lower && !std::isfinite(lo_[v])) prefer_lower = false;
+    if (!prefer_lower && !std::isfinite(up_[v])) prefer_lower = true;
+    state_[v] = prefer_lower ? kAtLower : kAtUpper;
+  }
+  binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+  for (int r = 0; r < m_; ++r) binv_[static_cast<std::size_t>(r) * m_ + r] = 1.0;
+  // Slack basis, slack costs zero: y = 0, d_j = c_j.
+  d_ = cost_;
+  xb_.assign(m_, 0.0);
+  x_dirty_ = true;
+  pivots_since_refactor_ = 0;
+  rho_.assign(m_, 0.0);
+  w_.assign(m_, 0.0);
+}
+
+double DualSimplex::value(int var) const {
+  BSIO_DCHECK(var >= 0 && var < n_);
+  switch (state_[var]) {
+    case kBasic:
+      return xb_[basic_pos_[var]];
+    case kAtLower:
+      return lo_[var];
+    default:
+      return up_[var];
+  }
+}
+
+std::vector<double> DualSimplex::values() const {
+  std::vector<double> x(n_);
+  for (int v = 0; v < n_; ++v) x[v] = value(v);
+  return x;
+}
+
+void DualSimplex::set_bounds(int var, double lo, double up) {
+  BSIO_CHECK(var >= 0 && var < n_);
+  BSIO_CHECK(lo <= up);
+  lo_[var] = lo;
+  up_[var] = up;
+  // A nonbasic variable keeps its side; its value snaps to the new bound,
+  // which leaves reduced costs (hence dual feasibility) untouched.
+  x_dirty_ = true;
+}
+
+void DualSimplex::recompute_x_basic() {
+  // r = b - sum over nonbasic of A_j x_j; xb = binv * r.
+  std::vector<double> r = b_;
+  for (int j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic) continue;
+    const double xj = state_[j] == kAtLower ? lo_[j] : up_[j];
+    BSIO_CHECK_MSG(std::isfinite(xj), "nonbasic variable at infinite bound");
+    if (xj == 0.0) continue;
+    const auto& idx = col_idx_[j];
+    const auto& val = col_val_[j];
+    for (std::size_t k = 0; k < idx.size(); ++k) r[idx[k]] -= val[k] * xj;
+  }
+  for (int i = 0; i < m_; ++i) {
+    const double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
+    double s = 0.0;
+    for (int k = 0; k < m_; ++k) s += row[k] * r[k];
+    xb_[i] = s;
+  }
+  x_dirty_ = false;
+}
+
+void DualSimplex::recompute_duals() {
+  // y^T = c_B^T B^{-1}; d_j = c_j - y^T A_j.
+  std::vector<double> y(m_, 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const double cb = cost_[basic_[i]];
+    if (cb == 0.0) continue;
+    const double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
+    for (int k = 0; k < m_; ++k) y[k] += cb * row[k];
+  }
+  for (int j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic) {
+      d_[j] = 0.0;
+      continue;
+    }
+    double s = 0.0;
+    const auto& idx = col_idx_[j];
+    const auto& val = col_val_[j];
+    for (std::size_t k = 0; k < idx.size(); ++k) s += y[idx[k]] * val[k];
+    d_[j] = cost_[j] - s;
+  }
+}
+
+void DualSimplex::refactorize() {
+  // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+  const std::size_t mm = static_cast<std::size_t>(m_);
+  std::vector<double> a(mm * mm, 0.0);  // basis matrix, row-major
+  for (int c = 0; c < m_; ++c) {
+    const int j = basic_[c];
+    const auto& idx = col_idx_[j];
+    const auto& val = col_val_[j];
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      a[static_cast<std::size_t>(idx[k]) * mm + c] = val[k];
+  }
+  std::vector<double>& inv = binv_;
+  std::fill(inv.begin(), inv.end(), 0.0);
+  for (int i = 0; i < m_; ++i) inv[static_cast<std::size_t>(i) * mm + i] = 1.0;
+
+  for (int col = 0; col < m_; ++col) {
+    int piv = col;
+    double best = std::abs(a[static_cast<std::size_t>(col) * mm + col]);
+    for (int i = col + 1; i < m_; ++i) {
+      double v = std::abs(a[static_cast<std::size_t>(i) * mm + col]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-12) {
+      // Accumulated roundoff degraded the basis beyond repair. Recover by
+      // restarting from the all-slack basis (always dual feasible here);
+      // the caller's solve loop re-optimises from scratch.
+      reset_to_slack_basis();
+      return;
+    }
+    if (piv != col) {
+      for (int k = 0; k < m_; ++k) {
+        std::swap(a[static_cast<std::size_t>(piv) * mm + k],
+                  a[static_cast<std::size_t>(col) * mm + k]);
+        std::swap(inv[static_cast<std::size_t>(piv) * mm + k],
+                  inv[static_cast<std::size_t>(col) * mm + k]);
+      }
+    }
+    const double p = a[static_cast<std::size_t>(col) * mm + col];
+    const double ip = 1.0 / p;
+    for (int k = 0; k < m_; ++k) {
+      a[static_cast<std::size_t>(col) * mm + k] *= ip;
+      inv[static_cast<std::size_t>(col) * mm + k] *= ip;
+    }
+    for (int i = 0; i < m_; ++i) {
+      if (i == col) continue;
+      const double f = a[static_cast<std::size_t>(i) * mm + col];
+      if (f == 0.0) continue;
+      for (int k = 0; k < m_; ++k) {
+        a[static_cast<std::size_t>(i) * mm + k] -=
+            f * a[static_cast<std::size_t>(col) * mm + k];
+        inv[static_cast<std::size_t>(i) * mm + k] -=
+            f * inv[static_cast<std::size_t>(col) * mm + k];
+      }
+    }
+  }
+  pivots_since_refactor_ = 0;
+  recompute_duals();
+  restore_dual_feasible_sides();
+  recompute_x_basic();
+}
+
+double DualSimplex::col_dot_row(int col, const std::vector<double>& row) const {
+  const auto& idx = col_idx_[col];
+  const auto& val = col_val_[col];
+  double s = 0.0;
+  for (std::size_t k = 0; k < idx.size(); ++k) s += row[idx[k]] * val[k];
+  return s;
+}
+
+void DualSimplex::ftran(int col, std::vector<double>& out) const {
+  out.assign(m_, 0.0);
+  const auto& idx = col_idx_[col];
+  const auto& val = col_val_[col];
+  for (int i = 0; i < m_; ++i) {
+    const double* row = binv_.data() + static_cast<std::size_t>(i) * m_;
+    double s = 0.0;
+    for (std::size_t k = 0; k < idx.size(); ++k) s += row[idx[k]] * val[k];
+    out[i] = s;
+  }
+}
+
+bool DualSimplex::pivot_step() {
+  if (x_dirty_) recompute_x_basic();
+
+  // 1. Leaving row: most violated basic bound.
+  int r = -1;
+  double worst = opts_.feas_tol;
+  bool above = false;  // true: x_B[r] > upper
+  for (int i = 0; i < m_; ++i) {
+    const int v = basic_[i];
+    if (xb_[i] < lo_[v] - opts_.feas_tol) {
+      double viol = lo_[v] - xb_[i];
+      if (viol > worst) {
+        worst = viol;
+        r = i;
+        above = false;
+      }
+    } else if (xb_[i] > up_[v] + opts_.feas_tol) {
+      double viol = xb_[i] - up_[v];
+      if (viol > worst) {
+        worst = viol;
+        r = i;
+        above = true;
+      }
+    }
+  }
+  if (r < 0) {
+    result_status_ = SolveStatus::kOptimal;
+    return false;
+  }
+
+  // 2. rho = e_r^T B^{-1}; alpha_j = rho . A_j.
+  const double* brow = binv_.data() + static_cast<std::size_t>(r) * m_;
+  rho_.assign(brow, brow + m_);
+
+  // 3. Dual ratio test. mu = d_q / alpha_q; leaving-above wants mu >= 0,
+  // leaving-below wants mu <= 0; pick smallest |mu|, then (Harris-style)
+  // the largest |alpha| within a relative band of the minimum.
+  std::vector<double> alpha(total_, 0.0);
+  double best_abs_mu = kInf;
+  for (int j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic) continue;
+    const double a = col_dot_row(j, rho_);
+    alpha[j] = a;
+    if (std::abs(a) < opts_.pivot_tol) continue;
+    const bool at_lower = state_[j] == kAtLower;
+    bool eligible;
+    if (above)
+      eligible = (at_lower && a > 0.0) || (!at_lower && a < 0.0);
+    else
+      eligible = (at_lower && a < 0.0) || (!at_lower && a > 0.0);
+    if (!eligible) continue;
+    // Fixed variables (lo == up) cannot re-enter usefully.
+    if (lo_[j] == up_[j]) continue;
+    const double abs_mu = std::abs(d_[j] / a);
+    best_abs_mu = std::min(best_abs_mu, abs_mu);
+  }
+  if (best_abs_mu == kInf) {
+    result_status_ = SolveStatus::kInfeasible;
+    return false;
+  }
+  int q = -1;
+  double best_pivot = 0.0;
+  const double band = best_abs_mu * (1.0 + 1e-7) + 1e-10;
+  for (int j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic) continue;
+    const double a = alpha[j];
+    if (std::abs(a) < opts_.pivot_tol) continue;
+    if (lo_[j] == up_[j]) continue;
+    const bool at_lower = state_[j] == kAtLower;
+    bool eligible;
+    if (above)
+      eligible = (at_lower && a > 0.0) || (!at_lower && a < 0.0);
+    else
+      eligible = (at_lower && a < 0.0) || (!at_lower && a > 0.0);
+    if (!eligible) continue;
+    if (std::abs(d_[j] / a) <= band && std::abs(a) > best_pivot) {
+      best_pivot = std::abs(a);
+      q = j;
+    }
+  }
+  BSIO_CHECK(q >= 0);
+
+  // 4. w = B^{-1} A_q; pivot element is w[r] (== alpha[q] up to roundoff).
+  ftran(q, w_);
+  if (std::abs(w_[r]) < opts_.pivot_tol) {
+    // Numerical disagreement with the row computation: refactorise and let
+    // the caller retry this iteration.
+    refactorize();
+    return true;
+  }
+
+  // 5. Primal step: drive x_B[r] exactly to its violated bound.
+  const int leave = basic_[r];
+  const double target = above ? up_[leave] : lo_[leave];
+  const double t = (xb_[r] - target) / w_[r];
+  const double xq_old = state_[q] == kAtLower ? lo_[q] : up_[q];
+
+  // 6. Dual step.
+  const double mu = d_[q] / w_[r];
+  for (int j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic || j == q) continue;
+    if (alpha[j] != 0.0) d_[j] -= mu * alpha[j];
+  }
+  d_[leave] = -mu;
+  d_[q] = 0.0;
+
+  // 7. Primal update.
+  for (int i = 0; i < m_; ++i)
+    if (i != r) xb_[i] -= t * w_[i];
+  xb_[r] = xq_old + t;
+
+  // 8. Basis inverse product-form update.
+  {
+    double* prow = binv_.data() + static_cast<std::size_t>(r) * m_;
+    const double ip = 1.0 / w_[r];
+    for (int k = 0; k < m_; ++k) prow[k] *= ip;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r || w_[i] == 0.0) continue;
+      double* irow = binv_.data() + static_cast<std::size_t>(i) * m_;
+      const double f = w_[i];
+      for (int k = 0; k < m_; ++k) irow[k] -= f * prow[k];
+    }
+  }
+
+  // 9. Bookkeeping.
+  basic_[r] = q;
+  basic_pos_[q] = r;
+  state_[q] = kBasic;
+  basic_pos_[leave] = -1;
+  state_[leave] = above ? kAtUpper : kAtLower;
+
+  if (++pivots_since_refactor_ >= opts_.refactor_every) refactorize();
+  return true;
+}
+
+void DualSimplex::restore_dual_feasible_sides() {
+  // After bound relaxations (B&B backtracking) a nonbasic variable can sit
+  // on the side its reduced cost forbids; flip it to the other bound, which
+  // restores dual feasibility without touching the basis.
+  for (int j = 0; j < total_; ++j) {
+    if (state_[j] == kBasic || lo_[j] == up_[j]) continue;
+    if (state_[j] == kAtLower && d_[j] < -opts_.dual_tol &&
+        std::isfinite(up_[j])) {
+      state_[j] = kAtUpper;
+      x_dirty_ = true;
+    } else if (state_[j] == kAtUpper && d_[j] > opts_.dual_tol &&
+               std::isfinite(lo_[j])) {
+      state_[j] = kAtLower;
+      x_dirty_ = true;
+    }
+  }
+}
+
+SolveResult DualSimplex::solve() {
+  SolveResult res;
+  restore_dual_feasible_sides();
+  if (x_dirty_) recompute_x_basic();
+  int iter = 0;
+  bool finished = false;
+  WallTimer timer;
+  while (iter < opts_.max_iterations) {
+    ++iter;
+    if (opts_.time_limit_seconds > 0.0 && (iter & 7) == 0 &&
+        timer.elapsed_seconds() > opts_.time_limit_seconds)
+      break;
+    if (!pivot_step()) {
+      finished = true;
+      break;
+    }
+  }
+  res.iterations = iter;
+  res.status = finished ? result_status_ : SolveStatus::kIterLimit;
+  if (res.status == SolveStatus::kOptimal) {
+    double obj = 0.0;
+    for (int v = 0; v < n_; ++v) obj += cost_[v] * value(v);
+    res.objective = obj;
+  }
+  return res;
+}
+
+}  // namespace bsio::lp

@@ -1,0 +1,125 @@
+// Bounded-variable dual simplex with a dense basis inverse.
+//
+// Why dual simplex: every structural variable in the paper's IP models is a
+// binary (finite bounds), so the all-slack basis — with each nonbasic
+// variable parked at whichever bound its cost sign prefers — is always dual
+// feasible. That removes the need for a phase-1, and branch-and-bound bound
+// changes are exactly the perturbation dual simplex re-optimises from, so
+// the MIP solver warm-starts every node from its parent's basis.
+//
+// Internals: rows are converted to equalities with one slack each
+// (<=: s in [0, inf); >=: s in (-inf, 0]; =: s fixed at 0); the basis
+// inverse is dense (m x m) with product-form pivot updates and periodic
+// full refactorisation; the ratio test is Harris-flavoured (among ratios
+// within a relative band of the minimum, pick the largest pivot magnitude).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace bsio::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kIterLimit,
+  kNumericalFailure,
+};
+
+struct SimplexOptions {
+  int max_iterations = 50000;
+  // Periodic full refactorisation interval; <= 0 picks an automatic value
+  // that balances the O(m^3) refactorisation against O(m^2) pivot updates.
+  int refactor_every = 0;
+  double feas_tol = 1e-7;   // primal bound violation tolerance
+  double dual_tol = 1e-9;   // reduced-cost tolerance
+  double pivot_tol = 1e-8;  // minimum acceptable pivot magnitude
+  // Wall-clock deadline for a single solve() in seconds (0 = none); an
+  // expired deadline returns kIterLimit. Checked every few pivots so large
+  // models cannot blow a caller's (e.g. B&B) time budget.
+  double time_limit_seconds = 0.0;
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kNumericalFailure;
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+class DualSimplex {
+ public:
+  // The model must outlive the solver. Variable count and rows are fixed at
+  // construction; only bounds may change afterwards.
+  explicit DualSimplex(const Model& model,
+                       const SimplexOptions& opts = SimplexOptions());
+
+  // (Re-)optimises from the current basis. First call starts from the
+  // all-slack basis.
+  SolveResult solve();
+
+  // Overrides the per-solve deadline (seconds; 0 disables).
+  void set_time_limit(double seconds) { opts_.time_limit_seconds = seconds; }
+
+  // Tighten/relax a structural variable's bounds (B&B branching). Keeps the
+  // basis; the next solve() warm-starts.
+  void set_bounds(int var, double lo, double up);
+  double lower(int var) const { return lo_[var]; }
+  double upper(int var) const { return up_[var]; }
+
+  // Value of structural variable `var` in the last solved point.
+  double value(int var) const;
+  // All structural values.
+  std::vector<double> values() const;
+
+  int num_structural() const { return n_; }
+
+ private:
+  static constexpr std::uint8_t kAtLower = 0;
+  static constexpr std::uint8_t kAtUpper = 1;
+  static constexpr std::uint8_t kBasic = 2;
+
+  void build_columns(const Model& model);
+  void reset_to_slack_basis();
+  void refactorize();       // rebuild binv_ from basis columns
+  void recompute_x_basic();  // x_B = B^{-1} (b - N x_N)
+  void restore_dual_feasible_sides();
+  void recompute_duals();    // d = c - (c_B B^{-1}) A
+  double col_dot_row(int col, const std::vector<double>& row) const;
+  void ftran(int col, std::vector<double>& out) const;  // out = B^{-1} A_col
+
+  // One dual simplex pivot; returns false when optimal/infeasible (status
+  // set in result_status_).
+  bool pivot_step();
+
+  const Model& model_;
+  SimplexOptions opts_;
+
+  int n_ = 0;  // structural variables
+  int m_ = 0;  // rows (and slacks)
+  int total_ = 0;
+
+  // Sparse columns (structural + slack).
+  std::vector<std::vector<int>> col_idx_;
+  std::vector<std::vector<double>> col_val_;
+
+  std::vector<double> cost_, lo_, up_;
+  std::vector<double> b_;
+
+  std::vector<double> binv_;       // dense m x m, row-major
+  std::vector<int> basic_;         // row -> var
+  std::vector<int> basic_pos_;     // var -> row or -1
+  std::vector<std::uint8_t> state_;  // var -> kAtLower/kAtUpper/kBasic
+  std::vector<double> xb_;         // basic values by row
+  std::vector<double> d_;          // reduced costs (all vars)
+
+  bool x_dirty_ = true;
+  int pivots_since_refactor_ = 0;
+  SolveStatus result_status_ = SolveStatus::kNumericalFailure;
+
+  // Scratch buffers.
+  std::vector<double> rho_, w_;
+};
+
+}  // namespace bsio::lp

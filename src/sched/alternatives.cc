@@ -1,0 +1,102 @@
+#include "sched/alternatives.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sched/cost_model.h"
+#include "util/check.h"
+
+namespace bsio::sched {
+
+namespace {
+
+struct NodeChoice {
+  wl::NodeId node = 0;
+  CompletionEstimate est;
+  double second_best = std::numeric_limits<double>::infinity();
+};
+
+NodeChoice evaluate(const wl::Workload& w, const sim::ClusterConfig& c,
+                    const PlannerState& ps, wl::TaskId task) {
+  NodeChoice out;
+  double best = std::numeric_limits<double>::infinity();
+  for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+    CompletionEstimate est = estimate_completion(w, c, ps, task, n);
+    // Near-ties go to the least-loaded node (storage-dominated estimates
+    // make nodes look alike; see the MinMin tie-break rationale).
+    const bool first = std::isinf(best);
+    const double tol = first ? 0.0 : 1e-9 * (1.0 + best);
+    if (first || est.completion < best - tol) {
+      out.second_best = best;
+      best = est.completion;
+      out.node = n;
+      out.est = std::move(est);
+    } else if (est.completion < best + tol &&
+               ps.node_ready[n] < ps.node_ready[out.node] - 1e-12) {
+      out.second_best = best;
+      best = est.completion;
+      out.node = n;
+      out.est = std::move(est);
+    } else if (est.completion < out.second_best) {
+      out.second_best = est.completion;
+    }
+  }
+  return out;
+}
+
+// Shared greedy loop: `prefer(a_choice, b_choice) == true` when a should
+// be committed before b.
+template <typename Prefer>
+sim::SubBatchPlan greedy_commit(const std::vector<wl::TaskId>& pending,
+                                const SchedulerContext& ctx, Prefer prefer) {
+  const wl::Workload& w = ctx.batch;
+  const sim::ClusterConfig& c = ctx.cluster;
+  PlannerState ps(w, c, ctx.engine.state());
+
+  sim::SubBatchPlan plan;
+  std::vector<wl::TaskId> todo = pending;
+  while (!todo.empty()) {
+    std::size_t best_i = 0;
+    NodeChoice best_choice;
+    bool first = true;
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      NodeChoice choice = evaluate(w, c, ps, todo[i]);
+      if (first || prefer(choice, best_choice)) {
+        first = false;
+        best_i = i;
+        best_choice = std::move(choice);
+      }
+    }
+    const wl::TaskId task = todo[best_i];
+    apply_assignment(w, c, ps, task, best_choice.node, best_choice.est);
+    plan.tasks.push_back(task);
+    plan.assignment[task] = best_choice.node;
+    todo.erase(todo.begin() + best_i);
+  }
+  return plan;
+}
+
+}  // namespace
+
+sim::SubBatchPlan SufferageScheduler::plan_sub_batch(
+    const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
+  auto sufferage = [](const NodeChoice& ch) {
+    return std::isinf(ch.second_best)
+               ? std::numeric_limits<double>::infinity()  // only one node
+               : ch.second_best - ch.est.completion;
+  };
+  return greedy_commit(pending, ctx,
+                       [&](const NodeChoice& a, const NodeChoice& b) {
+                         return sufferage(a) > sufferage(b);
+                       });
+}
+
+sim::SubBatchPlan MaxMinScheduler::plan_sub_batch(
+    const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
+  return greedy_commit(pending, ctx,
+                       [](const NodeChoice& a, const NodeChoice& b) {
+                         return a.est.completion > b.est.completion;
+                       });
+}
+
+}  // namespace bsio::sched

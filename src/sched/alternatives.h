@@ -1,0 +1,32 @@
+// Additional baseline schedulers beyond the paper's two: Sufferage and
+// MaxMin (Maheswaran et al., HCW'99), with the same data-access-aware MCT
+// estimates the MinMin baseline uses — the adaptation Casanova et al.
+// (HCW'00) made for file-staging costs, which the paper cites as related
+// work. Useful as extra comparison points and for studying how much of
+// the proposed schemes' win comes from global file-affinity information
+// rather than the greedy order.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace bsio::sched {
+
+// Sufferage: commit the task that would "suffer" most if denied its best
+// node (largest gap between its best and second-best completion time).
+class SufferageScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "Sufferage"; }
+  sim::SubBatchPlan plan_sub_batch(const std::vector<wl::TaskId>& pending,
+                                   const SchedulerContext& ctx) override;
+};
+
+// MaxMin: commit the task with the LARGEST minimum completion time first
+// (big tasks early, small tasks fill the gaps).
+class MaxMinScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "MaxMin"; }
+  sim::SubBatchPlan plan_sub_batch(const std::vector<wl::TaskId>& pending,
+                                   const SchedulerContext& ctx) override;
+};
+
+}  // namespace bsio::sched

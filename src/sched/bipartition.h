@@ -1,0 +1,49 @@
+// BiPartition: the paper's bi-level hypergraph partitioning scheduler
+// (Section 5).
+//
+// Level 1 (sub-batch selection): tasks are vertices, files are nets
+// (weights: expected execution time via Eq. 25-26, file size); BINW
+// partitioning bounds every sub-batch's incident net weight (= bytes it
+// must stage) by the compute cluster's aggregate disk space.
+//
+// Level 2 (task mapping): the chosen sub-batch is K-way partitioned across
+// the compute nodes minimising connectivity-1 (file bytes transferred more
+// than once) under load balance, then repaired against per-node disk
+// capacity (files dropped in increasing sharer order, tasks using dropped
+// files deferred to later sub-batches — paper Section 5.3).
+#pragma once
+
+#include "hypergraph/partitioner.h"
+#include "sched/scheduler.h"
+
+namespace bsio::sched {
+
+struct BiPartitionOptions {
+  hg::PartitionerOptions partitioner;
+  // Use Eq. 25-26 probabilistic vertex weights (true) or plain compute
+  // weights (false; ablation).
+  bool probabilistic_weights = true;
+  // Fraction of the aggregate disk space handed to BINW as the bound D.
+  double aggregate_bound_fraction = 1.0;
+};
+
+class BiPartitionScheduler : public Scheduler {
+ public:
+  explicit BiPartitionScheduler(BiPartitionOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "BiPartition"; }
+  sim::SubBatchPlan plan_sub_batch(const std::vector<wl::TaskId>& pending,
+                                   const SchedulerContext& ctx) override;
+
+ private:
+  BiPartitionOptions options_;
+};
+
+// Exposed for tests and for the IP scheduler's warm start: the level-2
+// mapping of `tasks` onto the compute nodes (indices into `tasks` -> node).
+std::vector<wl::NodeId> bipartition_map_tasks(
+    const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
+    const sim::ClusterConfig& cluster, const BiPartitionOptions& options);
+
+}  // namespace bsio::sched

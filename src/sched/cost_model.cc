@@ -1,0 +1,130 @@
+#include "sched/cost_model.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/state.h"
+#include "util/check.h"
+
+namespace bsio::sched {
+
+std::vector<double> probabilistic_exec_times(
+    const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
+    const sim::ClusterConfig& c) {
+  // Sharing degree s_j within the sub-batch.
+  std::unordered_map<wl::FileId, double> sharers;
+  for (wl::TaskId t : tasks)
+    for (wl::FileId f : w.task(t).files) sharers[f] += 1.0;
+
+  const double T = static_cast<double>(tasks.size());
+  const double K = static_cast<double>(c.num_compute_nodes);
+  const double bw_s = c.remote_bw();
+  const double bw_c = c.replica_bw();
+  const double slow_bw = std::min(bw_s, bw_c);  // Eq. 25's denominator
+
+  std::vector<double> out;
+  out.reserve(tasks.size());
+  for (wl::TaskId t : tasks) {
+    double exec = w.task(t).compute_seconds;
+    for (wl::FileId f : w.task(t).files) {
+      const double s_j = sharers[f];
+      const double p_fne = 1.0 / s_j;             // first to need the file
+      const double p_fe = (s_j / T) * (1.0 / K);  // already on my node
+      const double tr =
+          p_fne / bw_s + (1.0 - p_fne) * (1.0 - p_fe) / slow_bw;  // Eq. 25
+      exec += w.file_size(f) * (tr + 1.0 / c.local_disk_bw);      // Eq. 26
+    }
+    out.push_back(exec);
+  }
+  return out;
+}
+
+std::vector<double> plain_exec_times(const wl::Workload& w,
+                                     const std::vector<wl::TaskId>& tasks,
+                                     const sim::ClusterConfig& c) {
+  std::vector<double> out;
+  out.reserve(tasks.size());
+  for (wl::TaskId t : tasks) {
+    double exec = w.task(t).compute_seconds;
+    for (wl::FileId f : w.task(t).files)
+      exec += w.file_size(f) / c.local_disk_bw;
+    out.push_back(exec);
+  }
+  return out;
+}
+
+PlannerState::PlannerState(const wl::Workload& w, const sim::ClusterConfig& c,
+                           const sim::ClusterState& current)
+    : node_ready(c.num_compute_nodes, 0.0),
+      storage_ready(c.num_storage_nodes, 0.0),
+      planned(w.num_files()) {
+  for (wl::FileId f = 0; f < w.num_files(); ++f)
+    for (wl::NodeId n : current.holders(f))
+      planned[f].push_back({n, current.available_at(n, f)});
+}
+
+bool PlannerState::on_node(wl::FileId f, wl::NodeId n) const {
+  for (const auto& [node, avail] : planned[f])
+    if (node == n) return true;
+  return false;
+}
+
+CompletionEstimate estimate_completion(const wl::Workload& w,
+                                       const sim::ClusterConfig& c,
+                                       const PlannerState& ps,
+                                       wl::TaskId task, wl::NodeId node) {
+  CompletionEstimate est;
+  const auto& info = w.task(task);
+  double cursor = ps.node_ready[node];
+  const double start = cursor;
+  double read_bytes = 0.0;
+  for (wl::FileId f : info.files) {
+    const double size = w.file_size(f);
+    read_bytes += size;
+    if (ps.on_node(f, node)) continue;
+
+    const wl::NodeId home = w.file(f).home_storage_node;
+    double remote_start =
+        std::max({cursor, ps.storage_ready[home],
+                  c.shared_uplink_bw > 0.0 ? ps.uplink_ready : 0.0});
+    double best_arrival = remote_start + size / c.remote_bw();
+    CompletionEstimate::Stage stage{f, home, true, best_arrival};
+    if (c.allow_replication) {
+      for (const auto& [holder, avail] : ps.planned[f]) {
+        if (holder == node) continue;
+        double arr = std::max({cursor, ps.node_ready[holder], avail}) +
+                     size / c.replica_bw();
+        if (arr < best_arrival) {
+          best_arrival = arr;
+          stage = {f, holder, false, arr};
+        }
+      }
+    }
+    est.stages.push_back(stage);
+    cursor = best_arrival;
+  }
+  est.transfer_seconds = cursor - start;
+  est.completion =
+      cursor + read_bytes / c.local_disk_bw + info.compute_seconds;
+  return est;
+}
+
+void apply_assignment(const wl::Workload& /*w*/, const sim::ClusterConfig& c,
+                      PlannerState& ps, wl::TaskId /*task*/, wl::NodeId node,
+                      const CompletionEstimate& est) {
+  for (const auto& s : est.stages) {
+    if (s.remote) {
+      ps.storage_ready[s.src] = std::max(ps.storage_ready[s.src], s.arrival);
+      if (c.shared_uplink_bw > 0.0)
+        ps.uplink_ready = std::max(ps.uplink_ready, s.arrival);
+    } else {
+      ps.node_ready[s.src] = std::max(ps.node_ready[s.src], s.arrival);
+    }
+    // Implicit replication: every staged copy becomes a future source.
+    if (!ps.on_node(s.file, node))
+      ps.planned[s.file].push_back({node, s.arrival});
+  }
+  ps.node_ready[node] = est.completion;
+}
+
+}  // namespace bsio::sched

@@ -1,0 +1,75 @@
+// Shared planner-side cost estimates.
+//
+// probabilistic_exec_times implements Eq. 25-26: the expected execution
+// time of each task assuming uniform placement probabilities, used as
+// hypergraph vertex weights by the BiPartition scheduler (and as an
+// ablation toggle). estimate_completion is the MCT-style estimate MinMin
+// and JobDataPresent plan against.
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/state.h"
+#include "workload/types.h"
+
+namespace bsio::sched {
+
+// Eq. 25-26 expected execution time of every task in `tasks`, where file
+// sharing degrees s_j are counted within `tasks` only and T = |tasks|,
+// K = number of compute nodes. Entries align with `tasks`. The task's
+// measured compute_seconds stands in for the paper's per-byte compute
+// constant C (the emulators derive one from the other linearly).
+std::vector<double> probabilistic_exec_times(const wl::Workload& w,
+                                             const std::vector<wl::TaskId>& tasks,
+                                             const sim::ClusterConfig& c);
+
+// Plain vertex weights (compute + local read only), the ablation
+// counterpart of the probabilistic weights.
+std::vector<double> plain_exec_times(const wl::Workload& w,
+                                     const std::vector<wl::TaskId>& tasks,
+                                     const sim::ClusterConfig& c);
+
+// Planner bookkeeping for MCT estimates: estimated ready times of every
+// port plus planned file locations. MinMin / JDP mutate one of these as
+// they build their assignment.
+struct PlannerState {
+  std::vector<double> node_ready;     // per compute node
+  std::vector<double> storage_ready;  // per storage node
+  double uplink_ready = 0.0;
+  // planned_location[f] = nodes expected to hold f, with availability time.
+  std::vector<std::vector<std::pair<wl::NodeId, double>>> planned;
+
+  PlannerState(const wl::Workload& w, const sim::ClusterConfig& c,
+               const sim::ClusterState& current);
+
+  bool on_node(wl::FileId f, wl::NodeId n) const;
+};
+
+struct CompletionEstimate {
+  double completion = 0.0;
+  double transfer_seconds = 0.0;  // time spent arriving files
+  // Chosen source per missing file: (file, src, is_remote, arrival).
+  struct Stage {
+    wl::FileId file;
+    wl::NodeId src;
+    bool remote;
+    double arrival;
+  };
+  std::vector<Stage> stages;
+};
+
+// MCT of `task` on `node` against the planner state (no mutation): files
+// already planned on the node are free; others arrive from the best of the
+// remote home or any planned replica holder, serialized on the node port.
+CompletionEstimate estimate_completion(const wl::Workload& w,
+                                       const sim::ClusterConfig& c,
+                                       const PlannerState& ps,
+                                       wl::TaskId task, wl::NodeId node);
+
+// Applies the estimate: bumps port readies and records new file locations.
+void apply_assignment(const wl::Workload& w, const sim::ClusterConfig& c,
+                      PlannerState& ps, wl::TaskId task, wl::NodeId node,
+                      const CompletionEstimate& est);
+
+}  // namespace bsio::sched

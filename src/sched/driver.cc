@@ -1,0 +1,60 @@
+#include "sched/driver.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace bsio::sched {
+
+BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
+                         const sim::ClusterConfig& cluster) {
+  BatchRunResult result;
+  result.scheduler = scheduler.name();
+
+  sim::ExecutionEngine engine(cluster, workload,
+                              {scheduler.eviction_policy()});
+  SchedulerContext ctx{workload, cluster, engine};
+
+  std::vector<wl::TaskId> pending;
+  pending.reserve(workload.num_tasks());
+  for (const auto& t : workload.tasks()) pending.push_back(t.id);
+
+  while (!pending.empty()) {
+    WallTimer timer;
+    sim::SubBatchPlan plan = scheduler.plan_sub_batch(pending, ctx);
+    result.scheduling_seconds += timer.elapsed_seconds();
+
+    BSIO_CHECK_MSG(!plan.empty(), "scheduler returned an empty sub-batch");
+    std::unordered_set<wl::TaskId> planned(plan.tasks.begin(),
+                                           plan.tasks.end());
+    BSIO_CHECK_MSG(planned.size() == plan.tasks.size(),
+                   "sub-batch plan repeats tasks");
+    for (wl::TaskId t : plan.tasks)
+      BSIO_CHECK_MSG(std::find(pending.begin(), pending.end(), t) !=
+                         pending.end(),
+                     "sub-batch plan names a non-pending task");
+
+    engine.execute(plan);
+    ++result.sub_batches;
+    std::erase_if(pending,
+                  [&](wl::TaskId t) { return planned.count(t) > 0; });
+    BSIO_LOG(kDebug) << scheduler.name() << ": sub-batch " << result.sub_batches
+                     << " executed " << plan.tasks.size() << " tasks, "
+                     << pending.size() << " pending, makespan "
+                     << engine.makespan();
+  }
+
+  result.batch_time = engine.makespan();
+  result.stats = engine.totals();
+  result.per_task_scheduling_ms =
+      workload.num_tasks() > 0
+          ? result.scheduling_seconds * 1e3 /
+                static_cast<double>(workload.num_tasks())
+          : 0.0;
+  return result;
+}
+
+}  // namespace bsio::sched

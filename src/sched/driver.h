@@ -1,0 +1,28 @@
+// Batch driver: the three-stage loop of the paper (sub-batch selection ->
+// allocation -> runtime ordering/staging), with the runtime stage executed
+// by the simulation engine. Also measures the scheduling overhead reported
+// in Fig 6(b).
+#pragma once
+
+#include <string>
+
+#include "sched/scheduler.h"
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "workload/types.h"
+
+namespace bsio::sched {
+
+struct BatchRunResult {
+  std::string scheduler;
+  double batch_time = 0.0;          // simulated makespan (what Figs 3-6a plot)
+  double scheduling_seconds = 0.0;  // wall-clock planning time (Fig 6b)
+  double per_task_scheduling_ms = 0.0;
+  std::size_t sub_batches = 0;
+  sim::ExecutionStats stats;
+};
+
+BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
+                         const sim::ClusterConfig& cluster);
+
+}  // namespace bsio::sched

@@ -1,0 +1,557 @@
+#include "sched/ip_formulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace bsio::sched {
+
+namespace {
+
+// Group index lists per task, computed once per model.
+std::vector<std::vector<std::size_t>> groups_of_tasks(
+    const std::vector<wl::TaskId>& tasks, const std::vector<FileGroup>& groups) {
+  std::unordered_map<wl::TaskId, std::size_t> pos;
+  for (std::size_t k = 0; k < tasks.size(); ++k) pos[tasks[k]] = k;
+  std::vector<std::vector<std::size_t>> out(tasks.size());
+  for (std::size_t g = 0; g < groups.size(); ++g)
+    for (wl::TaskId t : groups[g].requesters) out[pos.at(t)].push_back(g);
+  return out;
+}
+
+// Task compute cost as the model sees it: CPU plus the local read of its
+// inputs (both serialized on the node, Eq. 12).
+double model_comp(const wl::Workload& w, const sim::ClusterConfig& c,
+                  wl::TaskId t) {
+  double bytes = 0.0;
+  for (wl::FileId f : w.task(t).files) bytes += w.file_size(f);
+  return w.task(t).compute_seconds + bytes / c.local_disk_bw;
+}
+
+}  // namespace
+
+std::vector<FileGroup> coalesce_files(const wl::Workload& w,
+                                      const std::vector<wl::TaskId>& tasks,
+                                      const sim::ClusterState& state) {
+  // Key: (sorted requester list, sorted present-on list).
+  std::map<std::pair<std::vector<wl::TaskId>, std::vector<wl::NodeId>>,
+           std::size_t>
+      index;
+  std::vector<FileGroup> groups;
+
+  std::unordered_map<wl::FileId, std::vector<wl::TaskId>> requesters;
+  for (wl::TaskId t : tasks)
+    for (wl::FileId f : w.task(t).files) requesters[f].push_back(t);
+
+  for (auto& [f, req] : requesters) {
+    std::sort(req.begin(), req.end());
+    std::vector<wl::NodeId> on;
+    for (wl::NodeId n = 0; n < state.num_nodes(); ++n)
+      if (state.has(n, f)) on.push_back(n);
+    auto key = std::make_pair(req, on);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      FileGroup g;
+      g.requesters = req;
+      g.present_on = on;
+      index.emplace(std::move(key), groups.size());
+      groups.push_back(std::move(g));
+      it = index.find(std::make_pair(req, on));
+    }
+    FileGroup& g = groups[index.at(std::make_pair(req, on))];
+    g.files.push_back(f);
+    g.bytes += w.file_size(f);
+  }
+  for (auto& g : groups) std::sort(g.files.begin(), g.files.end());
+  return groups;
+}
+
+// ---------------- AllocationModel ----------------
+
+int AllocationModel::var_T(std::size_t k, std::size_t i) const {
+  return t_vars_[k * C_ + i];
+}
+int AllocationModel::var_X(std::size_t g, std::size_t i) const {
+  return x_vars_[g * C_ + i];
+}
+int AllocationModel::var_R(std::size_t g, std::size_t i) const {
+  return r_vars_[g * C_ + i];
+}
+int AllocationModel::var_Y(std::size_t g, std::size_t i, std::size_t j) const {
+  return y_vars_[(g * C_ + i) * C_ + j];
+}
+bool AllocationModel::present(std::size_t g, std::size_t i) const {
+  return present_[g][i] != 0;
+}
+
+AllocationModel::AllocationModel(const wl::Workload& w,
+                                 const std::vector<wl::TaskId>& tasks,
+                                 std::vector<FileGroup> groups,
+                                 const sim::ClusterConfig& cluster,
+                                 const IpFormulationOptions& opts)
+    : w_(w),
+      tasks_(tasks),
+      groups_(std::move(groups)),
+      cluster_(cluster),
+      opts_(opts),
+      C_(cluster.num_compute_nodes) {
+  const std::size_t K = tasks_.size();
+  const std::size_t G = groups_.size();
+  const double t_rem = 1.0 / cluster_.remote_bw();
+  const double t_rep = 1.0 / cluster_.replica_bw();
+  const bool rep = cluster_.allow_replication;
+
+  present_.assign(G, std::vector<char>(C_, 0));
+  for (std::size_t g = 0; g < G; ++g)
+    for (wl::NodeId n : groups_[g].present_on)
+      if (n < C_) present_[g][n] = 1;
+
+  // Upper bound on the makespan surrogate: everything serial.
+  double ub = 0.0;
+  for (wl::TaskId t : tasks_) ub += model_comp(w_, cluster_, t);
+  for (const auto& g : groups_)
+    ub += g.bytes * (t_rem + 2.0 * static_cast<double>(C_) * t_rep);
+  z_ = model_.add_var(1.0, 0.0, ub);
+
+  // Variables.
+  t_vars_.assign(K * C_, -1);
+  for (std::size_t k = 0; k < K; ++k)
+    for (std::size_t i = 0; i < C_; ++i) {
+      t_vars_[k * C_ + i] = model_.add_binary(0.0);
+      integer_vars_.push_back(t_vars_[k * C_ + i]);
+    }
+  x_vars_.assign(G * C_, -1);
+  r_vars_.assign(G * C_, -1);
+  y_vars_.assign(G * C_ * C_, -1);
+  for (std::size_t g = 0; g < G; ++g) {
+    const double eps_rem = opts_.transfer_epsilon * t_rem * groups_[g].bytes;
+    const double eps_rep = opts_.transfer_epsilon * t_rep * groups_[g].bytes;
+    for (std::size_t i = 0; i < C_; ++i) {
+      if (!present(g, i)) {
+        x_vars_[g * C_ + i] = model_.add_binary(0.0);
+        r_vars_[g * C_ + i] = model_.add_binary(eps_rem);
+        integer_vars_.push_back(x_vars_[g * C_ + i]);
+        integer_vars_.push_back(r_vars_[g * C_ + i]);
+      }
+      if (rep)
+        for (std::size_t j = 0; j < C_; ++j) {
+          if (i == j || present(g, j)) continue;  // never copy onto a holder
+          y_vars_[(g * C_ + i) * C_ + j] = model_.add_binary(eps_rep);
+          integer_vars_.push_back(y_vars_[(g * C_ + i) * C_ + j]);
+        }
+    }
+  }
+
+  const auto task_groups = groups_of_tasks(tasks_, groups_);
+
+  // (1, star form) a node serves replicas of g only if it fetched g
+  // remotely (or already holds it). We deliberately strengthen the paper's
+  // Y <= X to Y <= R: it roots every copy and removes the unrooted
+  // replication cycles the original constraint set admits (see DESIGN.md).
+  if (rep)
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+      for (std::size_t i = 0; i < C_; ++i) {
+        if (present(g, i)) continue;  // existing holders are valid roots
+        if (opts_.aggregate_constraints) {
+          std::vector<lp::RowEntry> row;
+          for (std::size_t j = 0; j < C_; ++j)
+            if (var_Y(g, i, j) >= 0) row.push_back({var_Y(g, i, j), 1.0});
+          if (row.empty()) continue;
+          row.push_back({var_R(g, i), -static_cast<double>(C_ - 1)});
+          model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+        } else {
+          for (std::size_t j = 0; j < C_; ++j)
+            if (var_Y(g, i, j) >= 0)
+              model_.add_row(lp::Sense::kLe, 0.0,
+                             {{var_Y(g, i, j), 1.0}, {var_R(g, i), -1.0}});
+        }
+      }
+
+  // (2) replicate to j only if some requester of g is mapped to j.
+  std::unordered_map<wl::TaskId, std::size_t> pos;
+  for (std::size_t k = 0; k < K; ++k) pos[tasks_[k]] = k;
+  if (rep)
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      for (std::size_t j = 0; j < C_; ++j) {
+        if (present(g, j)) continue;
+        std::vector<lp::RowEntry> row;
+        for (std::size_t i = 0; i < C_; ++i)
+          if (var_Y(g, i, j) >= 0) row.push_back({var_Y(g, i, j), 1.0});
+        if (row.empty()) continue;
+        for (wl::TaskId t : groups_[g].requesters)
+          row.push_back({var_T(pos.at(t), j), -1.0});
+        model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+      }
+    }
+
+  // (4) storage on a node is the result of exactly one remote transfer or
+  // replication: X = R + sum_j Y_j->i. (Also implies Eqs. 3 and 5.)
+  for (std::size_t g = 0; g < groups_.size(); ++g)
+    for (std::size_t i = 0; i < C_; ++i) {
+      if (present(g, i)) continue;
+      std::vector<lp::RowEntry> row{{var_X(g, i), 1.0}, {var_R(g, i), -1.0}};
+      if (rep)
+        for (std::size_t j = 0; j < C_; ++j)
+          if (var_Y(g, j, i) >= 0) row.push_back({var_Y(g, j, i), -1.0});
+      model_.add_row(lp::Sense::kEq, 0.0, std::move(row));
+    }
+
+  // (6) each task runs on exactly one node.
+  for (std::size_t k = 0; k < K; ++k) {
+    std::vector<lp::RowEntry> row;
+    for (std::size_t i = 0; i < C_; ++i) row.push_back({var_T(k, i), 1.0});
+    model_.add_row(lp::Sense::kEq, 1.0, std::move(row));
+  }
+
+  // (7) mapping a task stages all its files.
+  for (std::size_t k = 0; k < K; ++k)
+    for (std::size_t i = 0; i < C_; ++i) {
+      std::vector<std::size_t> needed;
+      for (std::size_t g : task_groups[k])
+        if (!present(g, i)) needed.push_back(g);
+      if (needed.empty()) continue;
+      if (opts_.aggregate_constraints) {
+        std::vector<lp::RowEntry> row{
+            {var_T(k, i), static_cast<double>(needed.size())}};
+        for (std::size_t g : needed) row.push_back({var_X(g, i), -1.0});
+        model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+      } else {
+        for (std::size_t g : needed)
+          model_.add_row(lp::Sense::kLe, 0.0,
+                         {{var_T(k, i), 1.0}, {var_X(g, i), -1.0}});
+      }
+    }
+
+  // (8) every group without an existing copy is fetched remotely at least
+  // once.
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (!groups_[g].present_on.empty()) continue;
+    std::vector<lp::RowEntry> row;
+    for (std::size_t i = 0; i < C_; ++i)
+      if (var_R(g, i) >= 0) row.push_back({var_R(g, i), 1.0});
+    model_.add_row(lp::Sense::kGe, 1.0, std::move(row));
+  }
+
+  // (21) per-node disk capacity; existing copies of sub-batch files count
+  // as consumed.
+  for (std::size_t i = 0; i < C_; ++i) {
+    const double cap = cluster_.node_disk_capacity(i);
+    if (!std::isfinite(cap)) continue;
+    double consumed = 0.0;
+    std::vector<lp::RowEntry> row;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (present(g, i))
+        consumed += groups_[g].bytes;
+      else
+        row.push_back({var_X(g, i), groups_[g].bytes});
+    }
+    if (row.empty()) continue;
+    model_.add_row(lp::Sense::kLe, cap - consumed, std::move(row));
+  }
+
+  // Shared-uplink row: when all remote transfers serialize through one
+  // link (the OSUMED system), z is also bounded below by the total remote
+  // volume over that link. The paper's per-node formulation cannot see a
+  // shared resource; without this row the model underprices remote
+  // transfers exactly when they are most expensive.
+  if (cluster_.shared_uplink_bw > 0.0) {
+    const double t_up = 1.0 / cluster_.shared_uplink_bw;
+    std::vector<lp::RowEntry> row{{z_, -1.0}};
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+      for (std::size_t i = 0; i < C_; ++i)
+        if (var_R(g, i) >= 0)
+          row.push_back({var_R(g, i), t_up * groups_[g].bytes});
+    model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+  }
+
+  // z >= Computation_i + Remote_i + Replication_i (Eqs. 9-13).
+  for (std::size_t i = 0; i < C_; ++i) {
+    std::vector<lp::RowEntry> row{{z_, -1.0}};
+    for (std::size_t k = 0; k < K; ++k)
+      row.push_back({var_T(k, i), model_comp(w_, cluster_, tasks_[k])});
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (var_R(g, i) >= 0)
+        row.push_back({var_R(g, i), t_rem * groups_[g].bytes});
+      if (rep)
+        for (std::size_t j = 0; j < C_; ++j) {
+          if (var_Y(g, i, j) >= 0)
+            row.push_back({var_Y(g, i, j), t_rep * groups_[g].bytes});
+          if (var_Y(g, j, i) >= 0)
+            row.push_back({var_Y(g, j, i), t_rep * groups_[g].bytes});
+        }
+    }
+    model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+  }
+}
+
+std::vector<double> AllocationModel::incumbent_from_mapping(
+    const std::vector<wl::NodeId>& map) const {
+  BSIO_CHECK(map.size() == tasks_.size());
+  std::vector<double> x(model_.num_vars(), 0.0);
+  for (std::size_t k = 0; k < tasks_.size(); ++k)
+    x[var_T(k, map[k])] = 1.0;
+
+  const auto task_groups = groups_of_tasks(tasks_, groups_);
+  // Needed nodes per group under this mapping.
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    std::vector<char> needed(C_, 0);
+    for (std::size_t k = 0; k < tasks_.size(); ++k)
+      for (std::size_t gg : task_groups[k])
+        if (gg == g) needed[map[k]] = 1;
+    // Root: an existing holder if any, else the first needy node gets the
+    // remote transfer; everyone else replicates from the root (star).
+    int root = -1;
+    bool root_is_present = false;
+    for (std::size_t i = 0; i < C_; ++i)
+      if (present(g, i)) {
+        root = static_cast<int>(i);
+        root_is_present = true;
+        break;
+      }
+    for (std::size_t i = 0; i < C_ && root < 0; ++i)
+      if (needed[i]) root = static_cast<int>(i);
+    if (root < 0) continue;  // nobody needs it (possible after repair)
+    if (!root_is_present) {
+      x[var_X(g, root)] = 1.0;
+      x[var_R(g, root)] = 1.0;
+    }
+    for (std::size_t j = 0; j < C_; ++j) {
+      if (static_cast<int>(j) == root || !needed[j] || present(g, j)) continue;
+      x[var_X(g, j)] = 1.0;
+      if (cluster_.allow_replication && var_Y(g, root, j) >= 0)
+        x[var_Y(g, root, j)] = 1.0;
+      else
+        x[var_R(g, j)] = 1.0;
+    }
+  }
+
+  // The makespan surrogate: max node cost under this point.
+  const double t_rem = 1.0 / cluster_.remote_bw();
+  const double t_rep = 1.0 / cluster_.replica_bw();
+  double z = 0.0;
+  for (std::size_t i = 0; i < C_; ++i) {
+    double load = 0.0;
+    for (std::size_t k = 0; k < tasks_.size(); ++k)
+      if (map[k] == i) load += model_comp(w_, cluster_, tasks_[k]);
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      if (var_R(g, i) >= 0 && x[var_R(g, i)] > 0.5)
+        load += t_rem * groups_[g].bytes;
+      for (std::size_t j = 0; j < C_; ++j) {
+        if (var_Y(g, i, j) >= 0 && x[var_Y(g, i, j)] > 0.5)
+          load += t_rep * groups_[g].bytes;
+        if (var_Y(g, j, i) >= 0 && x[var_Y(g, j, i)] > 0.5)
+          load += t_rep * groups_[g].bytes;
+      }
+    }
+    z = std::max(z, load);
+  }
+  if (cluster_.shared_uplink_bw > 0.0) {
+    double uplink = 0.0;
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+      for (std::size_t i = 0; i < C_; ++i)
+        if (var_R(g, i) >= 0 && x[var_R(g, i)] > 0.5)
+          uplink += groups_[g].bytes / cluster_.shared_uplink_bw;
+    z = std::max(z, uplink);
+  }
+  x[z_] = z;
+  return x;
+}
+
+sim::SubBatchPlan AllocationModel::extract_plan(
+    const std::vector<double>& x) const {
+  sim::SubBatchPlan plan;
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    wl::NodeId node = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < C_; ++i)
+      if (x[var_T(k, i)] > best) {
+        best = x[var_T(k, i)];
+        node = static_cast<wl::NodeId>(i);
+      }
+    plan.tasks.push_back(tasks_[k]);
+    plan.assignment[tasks_[k]] = node;
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g)
+    for (std::size_t i = 0; i < C_; ++i) {
+      if (present(g, i)) continue;
+      sim::StagingSource src;
+      bool have = false;
+      if (var_R(g, i) >= 0 && x[var_R(g, i)] > 0.5) {
+        src = {sim::SourceKind::kRemote, wl::kInvalidNode};
+        have = true;
+      } else {
+        for (std::size_t j = 0; j < C_ && !have; ++j)
+          if (var_Y(g, j, i) >= 0 && x[var_Y(g, j, i)] > 0.5) {
+            src = {sim::SourceKind::kReplica, static_cast<wl::NodeId>(j)};
+            have = true;
+          }
+      }
+      if (!have) continue;
+      for (wl::FileId f : groups_[g].files)
+        plan.staging[{f, static_cast<wl::NodeId>(i)}] = src;
+    }
+  return plan;
+}
+
+// ---------------- SelectionModel ----------------
+
+int SelectionModel::var_T(std::size_t k, std::size_t i) const {
+  return t_vars_[k * C_ + i];
+}
+int SelectionModel::var_X(std::size_t g, std::size_t i) const {
+  return x_vars_[g * C_ + i];
+}
+
+SelectionModel::SelectionModel(const wl::Workload& w,
+                               const std::vector<wl::TaskId>& tasks,
+                               std::vector<FileGroup> groups,
+                               const sim::ClusterConfig& cluster,
+                               const IpFormulationOptions& opts)
+    : w_(w),
+      tasks_(tasks),
+      groups_(std::move(groups)),
+      cluster_(cluster),
+      opts_(opts),
+      C_(cluster.num_compute_nodes) {
+  const std::size_t K = tasks_.size();
+  const std::size_t G = groups_.size();
+
+  std::vector<std::vector<char>> present(G, std::vector<char>(C_, 0));
+  for (std::size_t g = 0; g < G; ++g)
+    for (wl::NodeId n : groups_[g].present_on)
+      if (n < C_) present[g][n] = 1;
+
+  t_vars_.assign(K * C_, -1);
+  for (std::size_t k = 0; k < K; ++k)
+    for (std::size_t i = 0; i < C_; ++i) {
+      // Objective Eq. 14: maximise the number of selected tasks.
+      t_vars_[k * C_ + i] = model_.add_binary(-1.0);
+      integer_vars_.push_back(t_vars_[k * C_ + i]);
+    }
+  x_vars_.assign(G * C_, -1);
+  for (std::size_t g = 0; g < G; ++g)
+    for (std::size_t i = 0; i < C_; ++i) {
+      if (present[g][i]) continue;
+      // Tiny cost discourages staging files nobody uses.
+      x_vars_[g * C_ + i] =
+          model_.add_binary(opts_.transfer_epsilon * groups_[g].bytes /
+                            cluster_.remote_bw());
+      integer_vars_.push_back(x_vars_[g * C_ + i]);
+    }
+
+  const auto task_groups = groups_of_tasks(tasks_, groups_);
+
+  // (15) selecting a task onto a node stages its files there.
+  for (std::size_t k = 0; k < K; ++k)
+    for (std::size_t i = 0; i < C_; ++i) {
+      std::vector<std::size_t> needed;
+      for (std::size_t g : task_groups[k])
+        if (!present[g][i]) needed.push_back(g);
+      if (needed.empty()) continue;
+      if (opts_.aggregate_constraints) {
+        std::vector<lp::RowEntry> row{
+            {var_T(k, i), static_cast<double>(needed.size())}};
+        for (std::size_t g : needed) row.push_back({var_X(g, i), -1.0});
+        model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+      } else {
+        for (std::size_t g : needed)
+          model_.add_row(lp::Sense::kLe, 0.0,
+                         {{var_T(k, i), 1.0}, {var_X(g, i), -1.0}});
+      }
+    }
+
+  // (16) per-node disk space.
+  for (std::size_t i = 0; i < C_; ++i) {
+    double consumed = 0.0;
+    std::vector<lp::RowEntry> row;
+    for (std::size_t g = 0; g < G; ++g) {
+      if (present[g][i])
+        consumed += groups_[g].bytes;
+      else
+        row.push_back({var_X(g, i), groups_[g].bytes});
+    }
+    if (row.empty()) continue;
+    model_.add_row(lp::Sense::kLe, cluster_.node_disk_capacity(i) - consumed,
+                   std::move(row));
+  }
+
+  // (17) a task is selected onto at most one node.
+  for (std::size_t k = 0; k < K; ++k) {
+    std::vector<lp::RowEntry> row;
+    for (std::size_t i = 0; i < C_; ++i) row.push_back({var_T(k, i), 1.0});
+    model_.add_row(lp::Sense::kLe, 1.0, std::move(row));
+  }
+
+  // (18-20) computational balance: C * Comp_i <= (1 + Thresh) * sum Comp.
+  // Skipped for tiny batches where the constraint would forbid any
+  // selection at all (fewer tasks than nodes).
+  if (K >= 2 * C_) {
+    for (std::size_t i = 0; i < C_; ++i) {
+      std::vector<lp::RowEntry> row;
+      for (std::size_t k = 0; k < K; ++k) {
+        const double comp = model_comp(w_, cluster_, tasks_[k]);
+        for (std::size_t ii = 0; ii < C_; ++ii) {
+          double coef = -(1.0 + opts_.balance_thresh) * comp;
+          if (ii == i) coef += static_cast<double>(C_) * comp;
+          row.push_back({var_T(k, ii), coef});
+        }
+      }
+      model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+    }
+  }
+}
+
+std::vector<wl::TaskId> SelectionModel::extract_sub_batch(
+    const std::vector<double>& x) const {
+  std::vector<wl::TaskId> out;
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < C_; ++i) sum += x[var_T(k, i)];
+    if (sum > 0.5) out.push_back(tasks_[k]);
+  }
+  return out;
+}
+
+std::vector<double> SelectionModel::greedy_incumbent() const {
+  std::vector<double> x(model_.num_vars(), 0.0);
+  const auto task_groups = groups_of_tasks(tasks_, groups_);
+
+  std::vector<double> load(C_, 0.0);
+  std::vector<double> disk(C_, 0.0);
+  std::vector<std::vector<char>> staged(groups_.size(),
+                                        std::vector<char>(C_, 0));
+  for (std::size_t g = 0; g < groups_.size(); ++g)
+    for (wl::NodeId n : groups_[g].present_on)
+      if (n < C_) {
+        staged[g][n] = 1;
+        disk[n] += groups_[g].bytes;
+      }
+
+  // Least-loaded greedy packing.
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    std::size_t best = C_;
+    for (std::size_t i = 0; i < C_; ++i) {
+      double extra = 0.0;
+      for (std::size_t g : task_groups[k])
+        if (!staged[g][i]) extra += groups_[g].bytes;
+      if (disk[i] + extra > cluster_.node_disk_capacity(i)) continue;
+      if (best == C_ || load[i] < load[best]) best = i;
+    }
+    if (best == C_) continue;  // does not fit anywhere; leave unselected
+    x[var_T(k, best)] = 1.0;
+    load[best] += model_comp(w_, cluster_, tasks_[k]);
+    for (std::size_t g : task_groups[k])
+      if (!staged[g][best]) {
+        staged[g][best] = 1;
+        disk[best] += groups_[g].bytes;
+        if (var_X(g, best) >= 0) x[var_X(g, best)] = 1.0;
+      }
+  }
+  if (!model_.is_feasible(x)) return {};
+  return x;
+}
+
+}  // namespace bsio::sched

@@ -1,0 +1,123 @@
+#include "sched/ip_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace bsio::sched {
+
+IpSchedulerOptions IpScheduler::default_options() {
+  IpSchedulerOptions o;
+  o.selection_mip.time_limit_seconds = 5.0;
+  o.selection_mip.max_nodes = 20000;
+  o.allocation_mip.time_limit_seconds = 15.0;
+  o.allocation_mip.max_nodes = 50000;
+  // Rounding rarely helps these structured models at every node; probe
+  // sparsely.
+  o.selection_mip.heuristic_every = 8;
+  o.allocation_mip.heuristic_every = 8;
+  return o;
+}
+
+IpScheduler::IpScheduler(IpSchedulerOptions options)
+    : options_(std::move(options)) {}
+
+sim::SubBatchPlan IpScheduler::plan_sub_batch(
+    const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
+  const wl::Workload& w = ctx.batch;
+  const sim::ClusterConfig& cluster = ctx.cluster;
+  last_ = SolveInfo{};
+
+  // Engineering cap: slice oversized batches, keeping file-sharing
+  // neighbours together (sort by first input file).
+  std::vector<wl::TaskId> capped = pending;
+  if (options_.max_subbatch_tasks > 0 &&
+      capped.size() > options_.max_subbatch_tasks) {
+    std::sort(capped.begin(), capped.end(),
+              [&](wl::TaskId a, wl::TaskId b) {
+                const auto& fa = w.task(a).files;
+                const auto& fb = w.task(b).files;
+                wl::FileId ka = fa.empty() ? 0 : fa.front();
+                wl::FileId kb = fb.empty() ? 0 : fb.front();
+                if (ka != kb) return ka < kb;
+                return a < b;
+              });
+    capped.resize(options_.max_subbatch_tasks);
+  }
+
+  // ---- Stage 1: sub-batch selection (limited disk only). ----
+  std::vector<wl::TaskId> sub_batch;
+  if (cluster.unlimited_disk()) {
+    sub_batch = capped;
+  } else {
+    SelectionModel sel(w, capped, coalesce_files(w, capped,
+                                                  ctx.engine.state()),
+                       cluster, options_.formulation);
+    ip::MipSolver solver(sel.model(), sel.integer_vars());
+    auto seed = sel.greedy_incumbent();
+    if (!seed.empty()) solver.set_incumbent(seed);
+    ip::MipResult r = solver.solve(options_.selection_mip);
+    last_.selection_nodes = r.nodes;
+    last_.selection_seconds = r.solve_seconds;
+    if (r.status == ip::MipStatus::kOptimal ||
+        r.status == ip::MipStatus::kFeasible)
+      sub_batch = sel.extract_sub_batch(r.x);
+    if (sub_batch.empty()) {
+      // Balance/disk constraints can make the IP reject everything (e.g. a
+      // C-node balance row with < C remaining tasks). Fall back to the
+      // single smallest pending task so the driver always progresses.
+      BSIO_LOG(kInfo) << "IP selection produced no sub-batch; falling back "
+                         "to a single task";
+      wl::TaskId smallest = pending.front();
+      double best = std::numeric_limits<double>::infinity();
+      for (wl::TaskId t : pending) {
+        double bytes = 0.0;
+        for (wl::FileId f : w.task(t).files) bytes += w.file_size(f);
+        if (bytes < best) {
+          best = bytes;
+          smallest = t;
+        }
+      }
+      sub_batch = {smallest};
+    }
+  }
+
+  // ---- Stage 2: allocation + data placement. ----
+  AllocationModel alloc(w, sub_batch,
+                        coalesce_files(w, sub_batch, ctx.engine.state()),
+                        cluster, options_.formulation);
+  ip::MipSolver solver(alloc.model(), alloc.integer_vars());
+
+  // Warm start from the BiPartition level-2 mapping (star staging).
+  std::vector<wl::NodeId> warm =
+      bipartition_map_tasks(w, sub_batch, cluster, options_.warm_start);
+  std::vector<double> incumbent = alloc.incumbent_from_mapping(warm);
+  const bool seeded = solver.set_incumbent(incumbent);
+  if (!seeded) {
+    BSIO_LOG(kInfo) << "IP allocation warm start rejected (disk-infeasible "
+                       "heuristic mapping); solving cold";
+  }
+
+  ip::MipResult r = solver.solve(options_.allocation_mip);
+  last_.allocation_nodes = r.nodes;
+  last_.allocation_seconds = r.solve_seconds;
+  last_.allocation_status = r.status;
+
+  std::vector<double> solution;
+  if (r.status == ip::MipStatus::kOptimal ||
+      r.status == ip::MipStatus::kFeasible) {
+    solution = r.x;
+    last_.surrogate_objective = alloc.makespan_surrogate(r.x);
+  } else {
+    BSIO_CHECK_MSG(seeded,
+                   "IP allocation failed and no warm start was available");
+    solution = incumbent;
+    last_.surrogate_objective = alloc.makespan_surrogate(incumbent);
+  }
+  return alloc.extract_plan(solution);
+}
+
+}  // namespace bsio::sched

@@ -1,0 +1,118 @@
+#include "sched/minmin.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "sched/cost_model.h"
+#include "util/check.h"
+
+namespace bsio::sched {
+
+namespace {
+
+// Best (node, estimate) of a task against the current planner state.
+std::pair<wl::NodeId, CompletionEstimate> best_node_for(
+    const wl::Workload& w, const sim::ClusterConfig& c,
+    const PlannerState& ps, wl::TaskId task) {
+  wl::NodeId best_node = 0;
+  CompletionEstimate best_est;
+  best_est.completion = std::numeric_limits<double>::infinity();
+  for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+    CompletionEstimate est = estimate_completion(w, c, ps, task, n);
+    const bool first = std::isinf(best_est.completion);
+    const double tol = first ? 0.0 : 1e-9 * (1.0 + best_est.completion);
+    const bool better =
+        first || est.completion < best_est.completion - tol ||
+        (est.completion < best_est.completion + tol &&
+         ps.node_ready[n] < ps.node_ready[best_node] - 1e-12);
+    if (better) {
+      best_node = n;
+      best_est = std::move(est);
+    }
+  }
+  return {best_node, std::move(best_est)};
+}
+
+// Lazy-heap MinMin for large batches.
+sim::SubBatchPlan plan_lazy(const wl::Workload& w,
+                            const sim::ClusterConfig& c, PlannerState& ps,
+                            const std::vector<wl::TaskId>& pending) {
+  sim::SubBatchPlan plan;
+  struct Entry {
+    double ct;
+    wl::TaskId task;
+    bool operator<(const Entry& o) const { return ct > o.ct; }  // min-heap
+  };
+  std::priority_queue<Entry> heap;
+  for (wl::TaskId t : pending)
+    heap.push({best_node_for(w, c, ps, t).second.completion, t});
+
+  std::vector<bool> done(w.num_tasks(), false);
+  while (!heap.empty()) {
+    Entry e = heap.top();
+    heap.pop();
+    if (done[e.task]) continue;
+    auto [node, est] = best_node_for(w, c, ps, e.task);
+    if (!heap.empty() &&
+        est.completion > heap.top().ct + 1e-9 * (1.0 + est.completion)) {
+      heap.push({est.completion, e.task});  // stale; retry later
+      continue;
+    }
+    apply_assignment(w, c, ps, e.task, node, est);
+    plan.tasks.push_back(e.task);
+    plan.assignment[e.task] = node;
+    done[e.task] = true;
+  }
+  return plan;
+}
+
+}  // namespace
+
+sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
+    const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
+  const wl::Workload& w = ctx.batch;
+  const sim::ClusterConfig& c = ctx.cluster;
+  PlannerState ps(w, c, ctx.engine.state());
+
+  if (pending.size() > exact_threshold_)
+    return plan_lazy(w, c, ps, pending);
+
+  sim::SubBatchPlan plan;
+  std::vector<wl::TaskId> todo = pending;
+
+  while (!todo.empty()) {
+    double best_ct = std::numeric_limits<double>::infinity();
+    std::size_t best_i = 0;
+    wl::NodeId best_node = 0;
+    CompletionEstimate best_est;
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+        CompletionEstimate est = estimate_completion(w, c, ps, todo[i], n);
+        // Near-ties (storage-dominated estimates make nodes look alike) go
+        // to the least-loaded node, as in classic MinMin.
+        const bool first = std::isinf(best_ct);
+        const double tol = first ? 0.0 : 1e-9 * (1.0 + best_ct);
+        const bool better =
+            first || est.completion < best_ct - tol ||
+            (est.completion < best_ct + tol &&
+             ps.node_ready[n] < ps.node_ready[best_node] - 1e-12);
+        if (better) {
+          best_ct = est.completion;
+          best_i = i;
+          best_node = n;
+          best_est = std::move(est);
+        }
+      }
+    }
+    const wl::TaskId task = todo[best_i];
+    apply_assignment(w, c, ps, task, best_node, best_est);
+    plan.tasks.push_back(task);
+    plan.assignment[task] = best_node;
+    todo.erase(todo.begin() + best_i);
+  }
+  return plan;
+}
+
+}  // namespace bsio::sched

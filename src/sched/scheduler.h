@@ -1,0 +1,45 @@
+// Scheduler interface: the contract shared by the paper's four algorithms.
+//
+// The batch driver repeatedly asks the scheduler for the next sub-batch
+// plan over the still-pending tasks, executes it on the simulation engine,
+// and loops until the batch drains. Schedulers that do no sub-batch
+// selection (MinMin, JobDataPresent) simply plan all pending tasks at once
+// and rely on the engine's on-demand eviction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "sim/plan.h"
+#include "workload/types.h"
+
+namespace bsio::sched {
+
+struct SchedulerContext {
+  const wl::Workload& batch;
+  const sim::ClusterConfig& cluster;
+  // Read-only view of the engine: cache contents, pending request counts.
+  const sim::ExecutionEngine& engine;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Plans the next sub-batch from `pending` (non-empty). The returned plan
+  // must name a non-empty subset of `pending` with a complete assignment.
+  virtual sim::SubBatchPlan plan_sub_batch(
+      const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) = 0;
+
+  // Disk-cache eviction policy this scheme pairs with (paper Section 4.3:
+  // popularity for IP / BiPartition / MinMin, LRU for JobDataPresent).
+  virtual sim::EvictionPolicy eviction_policy() const {
+    return sim::EvictionPolicy::kPopularity;
+  }
+};
+
+}  // namespace bsio::sched

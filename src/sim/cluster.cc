@@ -1,0 +1,70 @@
+#include "sim/cluster.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bsio::sim {
+
+void ClusterConfig::validate() const {
+  BSIO_CHECK(num_compute_nodes > 0);
+  BSIO_CHECK(num_storage_nodes > 0);
+  BSIO_CHECK(storage_disk_bw > 0.0);
+  BSIO_CHECK(storage_net_bw > 0.0);
+  BSIO_CHECK(compute_net_bw > 0.0);
+  BSIO_CHECK(local_disk_bw > 0.0);
+  BSIO_CHECK(disk_capacity > 0.0);
+  if (!disk_capacity_per_node.empty()) {
+    BSIO_CHECK_MSG(disk_capacity_per_node.size() == num_compute_nodes,
+                   "per-node disk capacities must cover every compute node");
+    for (double cap : disk_capacity_per_node) BSIO_CHECK(cap > 0.0);
+  }
+}
+
+double ClusterConfig::aggregate_disk_capacity() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_compute_nodes; ++i) {
+    const double cap = node_disk_capacity(i);
+    if (!std::isfinite(cap)) return kUnlimited;
+    sum += cap;
+  }
+  return sum;
+}
+
+bool ClusterConfig::unlimited_disk() const {
+  for (std::size_t i = 0; i < num_compute_nodes; ++i)
+    if (std::isfinite(node_disk_capacity(i))) return false;
+  return true;
+}
+
+ClusterConfig xio_cluster(std::size_t compute_nodes,
+                          std::size_t storage_nodes) {
+  ClusterConfig c;
+  c.num_compute_nodes = compute_nodes;
+  c.num_storage_nodes = storage_nodes;
+  c.storage_disk_bw = 210.0 * kMB;  // FAStT600 pool measurement [3]
+  c.storage_net_bw = 800.0 * kMB;   // 8 Gbps Infiniband effective
+  c.shared_uplink_bw = 0.0;
+  // Node-to-node copies move a file disk-to-disk: the Infiniband link is
+  // not the bottleneck, the endpoint disks are (~2006-era local disks).
+  c.compute_net_bw = 200.0 * kMB;
+  // Tasks re-read their freshly staged inputs, which are still hot in the
+  // 4 GB page cache of the dual-Xeon nodes.
+  c.local_disk_bw = 500.0 * kMB;
+  return c;
+}
+
+ClusterConfig osumed_cluster(std::size_t compute_nodes,
+                             std::size_t storage_nodes) {
+  ClusterConfig c;
+  c.num_compute_nodes = compute_nodes;
+  c.num_storage_nodes = storage_nodes;
+  c.storage_disk_bw = 21.0 * kMB;   // 18-25 MB/s PIII nodes
+  c.storage_net_bw = 12.5 * kMB;    // 100 Mbps Ethernet
+  c.shared_uplink_bw = 12.5 * kMB;  // shared OSUMED<->OSC link
+  c.compute_net_bw = 200.0 * kMB;   // disk-to-disk copy over OSC Infiniband
+  c.local_disk_bw = 500.0 * kMB;
+  return c;
+}
+
+}  // namespace bsio::sim

@@ -1,0 +1,89 @@
+// Coupled compute + storage cluster model (paper Sections 2 and 7).
+//
+// The compute cluster executes tasks; the storage cluster initially holds
+// every file. Transfers follow the paper's single-port model: a transfer
+// occupies one port at each endpoint for its whole duration, and a compute
+// node neither receives files nor serves replicas while a task executes on
+// it (its port and CPU are one serialized resource, matching Eq. 12).
+//
+// Bandwidth model (Section 6): a remote transfer moves at
+// min(storage disk BW, storage-compute network BW [, shared uplink BW]);
+// a replication moves at the compute interconnect BW. Local-disk reads on a
+// compute node (before a task runs) move at local_disk_bw.
+//
+// Presets mirror the paper's two testbeds: the OSC/XIO system (210 MB/s
+// storage disks behind Infiniband) and the OSC/OSUMED system (18-25 MB/s
+// storage disks behind a shared 100 Mbps link).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "workload/types.h"
+
+namespace bsio::sim {
+
+inline constexpr double kMB = 1024.0 * 1024.0;
+inline constexpr double kGB = 1024.0 * kMB;
+inline constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+struct ClusterConfig {
+  std::size_t num_compute_nodes = 4;
+  std::size_t num_storage_nodes = 4;
+
+  // Per storage node disk (read) bandwidth, bytes/s.
+  double storage_disk_bw = 210.0 * kMB;
+  // Storage-to-compute network path bandwidth, bytes/s.
+  double storage_net_bw = 800.0 * kMB;
+  // If > 0, all remote transfers additionally serialize through one shared
+  // uplink of this bandwidth (the OSUMED 100 Mbps link).
+  double shared_uplink_bw = 0.0;
+  // Compute-to-compute (replication) bandwidth, bytes/s.
+  double compute_net_bw = 800.0 * kMB;
+  // Local disk read bandwidth on a compute node, bytes/s.
+  double local_disk_bw = 100.0 * kMB;
+  // Disk cache capacity per compute node, bytes (kUnlimited = no limit).
+  double disk_capacity = kUnlimited;
+  // Optional per-node override (size num_compute_nodes); empty = uniform
+  // disk_capacity. The paper's Eqs. 16/21 allow heterogeneous DiskSpace_i.
+  std::vector<double> disk_capacity_per_node;
+
+  // Capacity of compute node i.
+  double node_disk_capacity(std::size_t i) const {
+    return disk_capacity_per_node.empty() ? disk_capacity
+                                          : disk_capacity_per_node[i];
+  }
+  // Sum of all compute-node capacities (inf if any is unlimited).
+  double aggregate_disk_capacity() const;
+  // True if every node's capacity is unlimited.
+  bool unlimited_disk() const;
+  // When false, compute-to-compute replication is disabled and every stage
+  // is a remote transfer (the paper's "No Replication" baseline, Fig 5a).
+  bool allow_replication = true;
+
+  // Effective point-to-point bandwidth of a remote transfer.
+  double remote_bw() const {
+    double bw = storage_disk_bw < storage_net_bw ? storage_disk_bw
+                                                 : storage_net_bw;
+    if (shared_uplink_bw > 0.0 && shared_uplink_bw < bw) bw = shared_uplink_bw;
+    return bw;
+  }
+  // Effective bandwidth of a compute-to-compute replication.
+  double replica_bw() const { return compute_net_bw; }
+
+  void validate() const;
+};
+
+// The OSC compute cluster against the XIO storage pool (Infiniband path,
+// 210 MB/s storage disks).
+ClusterConfig xio_cluster(std::size_t compute_nodes = 4,
+                          std::size_t storage_nodes = 4);
+
+// The OSC compute cluster against the OSUMED storage cluster (18-25 MB/s
+// disks behind a shared 100 Mbps Ethernet uplink).
+ClusterConfig osumed_cluster(std::size_t compute_nodes = 4,
+                             std::size_t storage_nodes = 4);
+
+}  // namespace bsio::sim

@@ -1,0 +1,354 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <limits>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace bsio::sim {
+
+namespace {
+constexpr double kInfTime = std::numeric_limits<double>::infinity();
+}
+
+void ExecutionStats::accumulate(const ExecutionStats& o) {
+  tasks_executed += o.tasks_executed;
+  remote_transfers += o.remote_transfers;
+  replications += o.replications;
+  evictions += o.evictions;
+  restages += o.restages;
+  cache_hits += o.cache_hits;
+  remote_bytes += o.remote_bytes;
+  replica_bytes += o.replica_bytes;
+}
+
+ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
+                                 const wl::Workload& workload,
+                                 EngineOptions options)
+    : cluster_(cluster),
+      workload_(workload),
+      options_(options),
+      storage_tl_(cluster.num_storage_nodes),
+      compute_tl_(cluster.num_compute_nodes),
+      has_uplink_(cluster.shared_uplink_bw > 0.0),
+      state_([&] {
+        std::vector<double> caps(cluster.num_compute_nodes);
+        for (std::size_t i = 0; i < caps.size(); ++i)
+          caps[i] = cluster.node_disk_capacity(i);
+        return caps;
+      }()),
+      pending_requests_(workload.num_files(), 0.0),
+      executed_(workload.num_tasks(), false),
+      was_evicted_(workload.num_files(), false) {
+  cluster.validate();
+  for (const auto& f : workload.files())
+    BSIO_CHECK_MSG(
+        f.home_storage_node < cluster.num_storage_nodes,
+        "workload was generated for more storage nodes than the cluster has");
+  for (const auto& t : workload.tasks())
+    for (wl::FileId f : t.files) pending_requests_[f] += 1.0;
+}
+
+ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
+    const SubBatchPlan& plan, wl::FileId file, wl::NodeId dst,
+    double after) const {
+  const double size = workload_.file_size(file);
+
+  auto remote_choice = [&]() {
+    TransferChoice c;
+    c.remote = true;
+    c.src = workload_.file(file).home_storage_node;
+    BSIO_CHECK_MSG(c.src < cluster_.num_storage_nodes,
+                   "file home storage node out of range for this cluster");
+    c.duration = size / cluster_.remote_bw();
+    std::vector<const Timeline*> tls{&storage_tl_[c.src],
+                                     has_uplink_ ? &uplink_tl_ : nullptr,
+                                     &compute_tl_[dst]};
+    c.start = earliest_common_free(tls, after, c.duration);
+    return c;
+  };
+
+  auto replica_choice = [&](wl::NodeId j) {
+    TransferChoice c;
+    c.remote = false;
+    c.src = j;
+    c.duration = size / cluster_.replica_bw();
+    const double avail = state_.available_at(j, file);
+    std::vector<const Timeline*> tls{&compute_tl_[j], &compute_tl_[dst]};
+    c.start = earliest_common_free(tls, std::max(after, avail), c.duration);
+    return c;
+  };
+
+  // A fixed staging directive (IP plan) short-circuits the dynamic rule,
+  // unless it has gone stale (replica source no longer holds the file).
+  auto it = plan.staging.find({file, dst});
+  if (it != plan.staging.end()) {
+    const StagingSource& s = it->second;
+    if (s.kind == SourceKind::kRemote) return remote_choice();
+    if (cluster_.allow_replication && s.src_node != dst &&
+        s.src_node < cluster_.num_compute_nodes &&
+        state_.has(s.src_node, file))
+      return replica_choice(s.src_node);
+  }
+
+  TransferChoice best = remote_choice();
+  if (cluster_.allow_replication) {
+    for (wl::NodeId j : state_.holders(file)) {
+      if (j == dst) continue;
+      TransferChoice c = replica_choice(j);
+      // Strictly-better completion wins; ties keep the replica with the
+      // lowest source id, preferring replicas over remote (less storage
+      // contention) on exact ties.
+      if (c.completion() < best.completion() - 1e-12 ||
+          (c.completion() < best.completion() + 1e-12 &&
+           (best.remote || c.src < best.src)))
+        best = c;
+    }
+  }
+  return best;
+}
+
+double ExecutionEngine::estimate_ect(wl::TaskId task, wl::NodeId node) const {
+  const auto& info = workload_.task(task);
+  double cursor = compute_tl_[node].horizon();
+  double read_bytes = 0.0;
+  for (wl::FileId f : info.files) {
+    read_bytes += workload_.file_size(f);
+    if (state_.has(node, f)) continue;
+    const double size = workload_.file_size(f);
+    // Horizon-based estimate: cheap, mutation-free, consistent across
+    // candidates (used only for ranking).
+    const wl::NodeId home = workload_.file(f).home_storage_node;
+    double src_ready = storage_tl_[home].horizon();
+    if (has_uplink_) src_ready = std::max(src_ready, uplink_tl_.horizon());
+    double best = std::max(cursor, src_ready) + size / cluster_.remote_bw();
+    if (cluster_.allow_replication) {
+      for (wl::NodeId j : state_.holders(f)) {
+        if (j == node) continue;
+        double start = std::max({cursor, compute_tl_[j].horizon(),
+                                 state_.available_at(j, f)});
+        best = std::min(best, start + size / cluster_.replica_bw());
+      }
+    }
+    cursor = best;
+  }
+  return cursor + read_bytes / cluster_.local_disk_bw + info.compute_seconds;
+}
+
+void ExecutionEngine::evict_for(wl::NodeId node, double need,
+                                const std::vector<wl::FileId>& pinned,
+                                ExecutionStats& stats) {
+  if (need <= 0.0) return;
+  auto victims = state_.select_victims(
+      node, need, pinned, options_.eviction,
+      [this](wl::FileId f) { return pending_requests_[f]; },
+      [this](wl::FileId f) { return workload_.file_size(f); });
+  BSIO_CHECK_MSG(!victims.empty(),
+                 "cannot free disk space: a single task's files must fit on "
+                 "one compute node (paper Section 4.2 assumption)");
+  for (wl::FileId v : victims) {
+    state_.remove(node, v, workload_.file_size(v));
+    was_evicted_[v] = true;
+    ++stats.evictions;
+  }
+}
+
+double ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
+                                    wl::NodeId node, ExecutionStats& stats) {
+  const auto& info = workload_.task(task);
+  const std::vector<wl::FileId>& pinned = info.files;
+
+  std::vector<wl::FileId> missing;
+  double read_bytes = 0.0;
+  for (wl::FileId f : info.files) {
+    read_bytes += workload_.file_size(f);
+    if (state_.has(node, f))
+      ++stats.cache_hits;
+    else
+      missing.push_back(f);
+  }
+
+  double last_end = compute_tl_[node].horizon();
+  std::vector<wl::FileId> remaining = missing;
+  while (!remaining.empty()) {
+    // Greedy minimum-TCT-first staging (paper Section 6): evaluate every
+    // remaining file against the current Gantt state, commit the earliest.
+    std::size_t best_i = 0;
+    TransferChoice best;
+    double best_tct = kInfTime;
+    const double after = compute_tl_[node].horizon();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      TransferChoice c = best_transfer(plan, remaining[i], node, after);
+      if (c.completion() < best_tct) {
+        best_tct = c.completion();
+        best = c;
+        best_i = i;
+      }
+    }
+    const wl::FileId file = remaining[best_i];
+    const double size = workload_.file_size(file);
+
+    // Disk admission on the destination (temporally safe: the reservation
+    // starts at or after the node horizon, and every resident file's last
+    // reference ends at or before the horizon).
+    evict_for(node, size - state_.free_bytes(node), pinned, stats);
+
+    if (best.remote) {
+      storage_tl_[best.src].reserve(best.start, best.duration);
+      if (has_uplink_) uplink_tl_.reserve(best.start, best.duration);
+      ++stats.remote_transfers;
+      stats.remote_bytes += size;
+    } else {
+      compute_tl_[best.src].reserve(best.start, best.duration);
+      state_.touch(best.src, file, best.completion());
+      ++stats.replications;
+      stats.replica_bytes += size;
+    }
+    compute_tl_[node].reserve(best.start, best.duration);
+    if (was_evicted_[file]) ++stats.restages;
+    if (options_.trace)
+      trace_.push_back({best.remote ? TraceEvent::Kind::kRemoteTransfer
+                                    : TraceEvent::Kind::kReplication,
+                        task, file, best.src, node, best.start,
+                        best.completion()});
+    state_.add(node, file, size, best.completion());
+    last_end = std::max(last_end, best.completion());
+    remaining.erase(remaining.begin() + best_i);
+  }
+
+  // Local read + computation, serialized on the node after the last input
+  // file arrives.
+  const double exec_dur =
+      read_bytes / cluster_.local_disk_bw + info.compute_seconds;
+  const double start = compute_tl_[node].earliest_free(last_end, exec_dur);
+  compute_tl_[node].reserve(start, exec_dur);
+  const double completion = start + exec_dur;
+  if (options_.trace)
+    trace_.push_back({TraceEvent::Kind::kExec, task, wl::kInvalidFile,
+                      wl::kInvalidNode, node, start, completion});
+
+  for (wl::FileId f : info.files) {
+    state_.touch(node, f, completion);
+    pending_requests_[f] -= 1.0;
+  }
+  executed_[task] = true;
+  ++stats.tasks_executed;
+  makespan_ = std::max(makespan_, completion);
+  return completion;
+}
+
+ExecutionStats ExecutionEngine::execute(const SubBatchPlan& plan) {
+  ExecutionStats stats;
+
+  // Proactive replications (Data Least Loaded) before task scheduling.
+  for (const auto& [file, dst] : plan.prefetches) {
+    BSIO_CHECK(dst < cluster_.num_compute_nodes);
+    if (state_.has(dst, file)) continue;
+    const double size = workload_.file_size(file);
+    TransferChoice c =
+        best_transfer(plan, file, dst, compute_tl_[dst].horizon());
+    evict_for(dst, size - state_.free_bytes(dst), {file}, stats);
+    if (c.remote) {
+      storage_tl_[c.src].reserve(c.start, c.duration);
+      if (has_uplink_) uplink_tl_.reserve(c.start, c.duration);
+      ++stats.remote_transfers;
+      stats.remote_bytes += size;
+    } else {
+      compute_tl_[c.src].reserve(c.start, c.duration);
+      ++stats.replications;
+      stats.replica_bytes += size;
+    }
+    compute_tl_[dst].reserve(c.start, c.duration);
+    if (was_evicted_[file]) ++stats.restages;
+    if (options_.trace)
+      trace_.push_back({c.remote ? TraceEvent::Kind::kRemoteTransfer
+                                 : TraceEvent::Kind::kReplication,
+                        wl::kInvalidTask, file, c.src, dst, c.start,
+                        c.completion()});
+    state_.add(dst, file, size, c.completion());
+  }
+
+  std::vector<std::vector<wl::TaskId>> groups(cluster_.num_compute_nodes);
+  for (wl::TaskId t : plan.tasks) {
+    BSIO_CHECK_MSG(t < workload_.num_tasks(), "plan names unknown task");
+    BSIO_CHECK_MSG(!executed_[t], "plan re-executes a task");
+    auto it = plan.assignment.find(t);
+    BSIO_CHECK_MSG(it != plan.assignment.end(), "task missing an assignment");
+    BSIO_CHECK_MSG(it->second < cluster_.num_compute_nodes,
+                   "assignment names an invalid compute node");
+    groups[it->second].push_back(t);
+  }
+
+  std::size_t left = plan.tasks.size();
+  while (left > 0) {
+    // Serve the group whose node frees up first (equivalently: whenever a
+    // node finishes, it picks its next task by earliest completion time).
+    wl::NodeId node = wl::kInvalidNode;
+    double best_h = kInfTime;
+    for (wl::NodeId n = 0; n < groups.size(); ++n) {
+      if (groups[n].empty()) continue;
+      double h = compute_tl_[n].horizon();
+      if (h < best_h) {
+        best_h = h;
+        node = n;
+      }
+    }
+    BSIO_CHECK(node != wl::kInvalidNode);
+
+    auto& group = groups[node];
+    std::size_t best_i = 0;
+    double best_ect = kInfTime;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      double ect = estimate_ect(group[i], node);
+      if (ect < best_ect) {
+        best_ect = ect;
+        best_i = i;
+      }
+    }
+    wl::TaskId task = group[best_i];
+    group.erase(group.begin() + best_i);
+    commit_task(plan, task, node, stats);
+    --left;
+  }
+
+  totals_.accumulate(stats);
+  return stats;
+}
+
+std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
+  std::vector<TraceEvent> sorted = trace;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  std::string out = "kind,task,file,src,dst,start,end\n";
+  char buf[160];
+  for (const auto& e : sorted) {
+    const char* kind = e.kind == TraceEvent::Kind::kRemoteTransfer
+                           ? "remote"
+                           : e.kind == TraceEvent::Kind::kReplication
+                                 ? "replica"
+                                 : "exec";
+    auto id = [](auto v) {
+      return v == static_cast<decltype(v)>(-1) ? -1L : static_cast<long>(v);
+    };
+    std::snprintf(buf, sizeof(buf), "%s,%ld,%ld,%ld,%ld,%.6f,%.6f\n", kind,
+                  id(e.task), id(e.file), id(e.src), id(e.dst), e.start,
+                  e.end);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<double> ExecutionEngine::compute_busy_times() const {
+  std::vector<double> out;
+  out.reserve(compute_tl_.size());
+  for (const auto& tl : compute_tl_) out.push_back(tl.busy_time());
+  return out;
+}
+
+}  // namespace bsio::sim

@@ -1,0 +1,154 @@
+// Execution engine: realises a sub-batch plan under the paper's Section 6
+// runtime rules and reports the simulated batch execution time.
+//
+// Model summary (see DESIGN.md for the full argument):
+//  - every storage node port, the optional shared uplink, and every compute
+//    node (its port and CPU are one serialized resource, Eq. 12) is a
+//    Timeline of reservations;
+//  - tasks assigned to a node run one at a time; the engine picks, per the
+//    paper, the next task of each group by earliest completion time,
+//    estimating ECT cheaply for candidate ranking and committing the chosen
+//    task's file transfers exactly (greedy minimum-TCT-first, tentative
+//    Gantt reservations);
+//  - a transfer reserves both endpoint timelines (single-port model); a
+//    remote transfer additionally reserves the shared uplink if configured;
+//  - destination-side reservations are append-only (at or after the node's
+//    horizon), which makes on-demand eviction temporally safe: every file
+//    resident on a node stopped being referenced before the node's horizon;
+//  - disk-space shortfalls at staging time trigger the configured eviction
+//    policy; files needed again later are re-staged (counted as evictions
+//    and re-transfers, the effect driving the paper's Fig 5b).
+#pragma once
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/plan.h"
+#include "sim/state.h"
+#include "sim/timeline.h"
+#include "workload/types.h"
+
+namespace bsio::sim {
+
+struct EngineOptions {
+  EvictionPolicy eviction = EvictionPolicy::kPopularity;
+  // Record a TraceEvent per transfer / execution block (off by default;
+  // costs one vector push per event).
+  bool trace = false;
+};
+
+// One row of the execution trace: a remote transfer, a replication, or a
+// task's local-read + compute block, with its Gantt placement.
+struct TraceEvent {
+  enum class Kind { kRemoteTransfer, kReplication, kExec };
+  Kind kind = Kind::kExec;
+  wl::TaskId task = wl::kInvalidTask;  // kExec, or the task whose commit
+                                       // triggered the transfer
+  wl::FileId file = wl::kInvalidFile;  // transfers only
+  wl::NodeId src = wl::kInvalidNode;   // storage node (remote) or compute
+                                       // node (replication)
+  wl::NodeId dst = wl::kInvalidNode;   // compute node
+  double start = 0.0;
+  double end = 0.0;
+};
+
+// Statistics for one execute() call (per sub-batch) and accumulated totals.
+struct ExecutionStats {
+  std::size_t tasks_executed = 0;
+  std::size_t remote_transfers = 0;
+  std::size_t replications = 0;
+  std::size_t evictions = 0;
+  std::size_t restages = 0;  // stages of a file previously evicted
+  std::size_t cache_hits = 0;  // needed file already on the node
+  double remote_bytes = 0.0;
+  double replica_bytes = 0.0;
+
+  void accumulate(const ExecutionStats& o);
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(const ClusterConfig& cluster, const wl::Workload& workload,
+                  EngineOptions options = {});
+
+  // Executes one sub-batch plan on top of the current cluster state; returns
+  // the stats of this call. Plans must reference tasks not yet executed.
+  ExecutionStats execute(const SubBatchPlan& plan);
+
+  // Batch execution time so far: the latest completion over all executed
+  // tasks.
+  double makespan() const { return makespan_; }
+
+  const ExecutionStats& totals() const { return totals_; }
+  const ClusterState& state() const { return state_; }
+  ClusterState& state() { return state_; }
+
+  // Remaining request count for a file (popularity numerator, Eq. 22);
+  // decremented as tasks execute.
+  double pending_requests(wl::FileId f) const { return pending_requests_[f]; }
+
+  // Per-compute-node busy time (utilisation diagnostics).
+  std::vector<double> compute_busy_times() const;
+
+  // Execution trace (empty unless EngineOptions::trace was set).
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  const Timeline& storage_timeline(wl::NodeId s) const {
+    return storage_tl_[s];
+  }
+  const Timeline& compute_timeline(wl::NodeId c) const {
+    return compute_tl_[c];
+  }
+
+ private:
+  struct TransferChoice {
+    bool remote = true;
+    wl::NodeId src = wl::kInvalidNode;  // storage node or compute node
+    double start = 0.0;
+    double duration = 0.0;
+    double completion() const { return start + duration; }
+  };
+
+  // Best transfer for staging `file` onto `dst` no earlier than `after`,
+  // honouring a fixed staging directive if the plan carries one.
+  TransferChoice best_transfer(const SubBatchPlan& plan, wl::FileId file,
+                               wl::NodeId dst, double after) const;
+
+  // Cheap ECT estimate used only to rank a node's pending tasks.
+  double estimate_ect(wl::TaskId task, wl::NodeId node) const;
+
+  // Commits `task` on `node`: stages missing files (minimum-TCT-first),
+  // evicting on demand, then reserves the local-read + compute block.
+  // Returns the task completion time.
+  double commit_task(const SubBatchPlan& plan, wl::TaskId task,
+                     wl::NodeId node, ExecutionStats& stats);
+
+  // Frees `need` bytes on `node` before a staging that starts at the node
+  // horizon; `pinned` lists the current task's files.
+  void evict_for(wl::NodeId node, double need,
+                 const std::vector<wl::FileId>& pinned,
+                 ExecutionStats& stats);
+
+  ClusterConfig cluster_;  // by value: cheap, and callers may pass rvalues
+  const wl::Workload& workload_;
+  EngineOptions options_;
+
+  std::vector<Timeline> storage_tl_;
+  std::vector<Timeline> compute_tl_;
+  Timeline uplink_tl_;
+  bool has_uplink_ = false;
+
+  ClusterState state_;
+  std::vector<double> pending_requests_;
+  std::vector<bool> executed_;
+  std::vector<bool> was_evicted_;  // per file: evicted at least once
+  double makespan_ = 0.0;
+  ExecutionStats totals_;
+  std::vector<TraceEvent> trace_;
+};
+
+// Renders a trace as CSV (kind,task,file,src,dst,start,end), sorted by
+// start time — ready for plotting a Gantt chart.
+std::string trace_to_csv(const std::vector<TraceEvent>& trace);
+
+}  // namespace bsio::sim

@@ -1,0 +1,48 @@
+// Sub-batch plan: the contract between the schedulers and the execution
+// engine.
+//
+// A plan names the tasks of one sub-batch, their compute-node assignment,
+// and — for the IP scheduler, which decides data placement statically —
+// fixed staging sources per (file, destination). Plans without fixed
+// staging leave source selection to the engine's dynamic earliest-
+// completion rule (paper Section 6).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "workload/types.h"
+
+namespace bsio::sim {
+
+enum class SourceKind {
+  kRemote,   // stage from the file's home storage node
+  kReplica,  // copy from the named compute node
+};
+
+struct StagingSource {
+  SourceKind kind = SourceKind::kRemote;
+  wl::NodeId src_node = wl::kInvalidNode;  // compute node, for kReplica
+};
+
+struct SubBatchPlan {
+  std::vector<wl::TaskId> tasks;
+  std::unordered_map<wl::TaskId, wl::NodeId> assignment;
+
+  // IP-only: per (file, destination compute node) staging decision. Entries
+  // are consulted once per (file, node) staging; missing entries (or stale
+  // ones, e.g. the named source no longer holds the file) fall back to the
+  // dynamic rule.
+  std::map<std::pair<wl::FileId, wl::NodeId>, StagingSource> staging;
+
+  // Proactive replications executed before the sub-batch's tasks (the Data
+  // Least Loaded mechanism of the JobDataPresent baseline). Entries already
+  // satisfied by the cache are skipped.
+  std::vector<std::pair<wl::FileId, wl::NodeId>> prefetches;
+
+  bool empty() const { return tasks.empty(); }
+};
+
+}  // namespace bsio::sim

@@ -1,0 +1,72 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+namespace bsio::sim {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+double Timeline::earliest_free(double after, double duration) const {
+  BSIO_DCHECK(duration >= 0.0);
+  double t = after;
+  // Find the first interval that could interfere.
+  auto it = std::upper_bound(
+      busy_.begin(), busy_.end(), t,
+      [](double v, const Interval& iv) { return v < iv.end; });
+  for (; it != busy_.end(); ++it) {
+    if (t + duration <= it->start + kEps) return t;
+    t = std::max(t, it->end);
+  }
+  return t;
+}
+
+void Timeline::reserve(double start, double duration) {
+  if (duration <= 0.0) return;
+  Interval iv{start, start + duration};
+  auto it = std::upper_bound(
+      busy_.begin(), busy_.end(), iv.start,
+      [](double v, const Interval& o) { return v < o.start; });
+  // Overlap check against neighbours.
+  if (it != busy_.begin()) {
+    BSIO_CHECK_MSG(std::prev(it)->end <= iv.start + kEps,
+                   "timeline reservation overlaps previous interval");
+  }
+  if (it != busy_.end()) {
+    BSIO_CHECK_MSG(iv.end <= it->start + kEps,
+                   "timeline reservation overlaps next interval");
+  }
+  busy_.insert(it, iv);
+}
+
+double Timeline::busy_time() const {
+  double total = 0.0;
+  for (const auto& iv : busy_) total += iv.end - iv.start;
+  return total;
+}
+
+void Timeline::validate() const {
+  for (std::size_t i = 0; i < busy_.size(); ++i) {
+    BSIO_CHECK(busy_[i].end > busy_[i].start);
+    if (i > 0) BSIO_CHECK(busy_[i - 1].end <= busy_[i].start + kEps);
+  }
+}
+
+double earliest_common_free(const std::vector<const Timeline*>& timelines,
+                            double after, double duration) {
+  double t = after;
+  // Fixed-point iteration: each timeline can only push t forward, and every
+  // pass either leaves t unchanged (all agree -> done) or advances past at
+  // least one busy interval, so this terminates.
+  for (;;) {
+    double t0 = t;
+    for (const Timeline* tl : timelines) {
+      if (tl == nullptr) continue;
+      t = tl->earliest_free(t, duration);
+    }
+    if (t == t0) return t;
+  }
+}
+
+}  // namespace bsio::sim

@@ -1,0 +1,53 @@
+// Gantt-chart timelines (paper Section 6).
+//
+// A Timeline is the reservation calendar of one single-port resource — a
+// storage node port, a compute node (port + CPU, unified per Eq. 12), or
+// the shared uplink. Reservations are half-open busy intervals; queries
+// find the earliest gap of a given duration, optionally across several
+// timelines at once (a transfer must hold both endpoints simultaneously).
+#pragma once
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace bsio::sim {
+
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+class Timeline {
+ public:
+  // Earliest t >= after such that [t, t + duration) is free.
+  double earliest_free(double after, double duration) const;
+
+  // Reserves [start, start + duration); the slot must be free.
+  void reserve(double start, double duration);
+
+  // Largest reservation end time (0 if empty).
+  double horizon() const { return busy_.empty() ? 0.0 : busy_.back().end; }
+
+  std::size_t num_reservations() const { return busy_.size(); }
+  const std::vector<Interval>& intervals() const { return busy_; }
+
+  // Total reserved time in [0, horizon].
+  double busy_time() const;
+
+  void clear() { busy_.clear(); }
+
+  // Invariant check: sorted, non-overlapping, positive-length intervals.
+  void validate() const;
+
+ private:
+  // Sorted by start; pairwise disjoint.
+  std::vector<Interval> busy_;
+};
+
+// Earliest t >= after such that [t, t + duration) is simultaneously free on
+// every timeline. Pointers may repeat; null entries are ignored.
+double earliest_common_free(const std::vector<const Timeline*>& timelines,
+                            double after, double duration);
+
+}  // namespace bsio::sim

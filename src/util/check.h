@@ -1,0 +1,38 @@
+// Lightweight runtime checks used across the library.
+//
+// BSIO_CHECK is always on (cheap invariants on hot-but-not-innermost paths);
+// BSIO_DCHECK compiles away in NDEBUG builds (inner-loop invariants).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bsio::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "BSIO_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace bsio::detail
+
+#define BSIO_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::bsio::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BSIO_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::bsio::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define BSIO_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define BSIO_DCHECK(cond) BSIO_CHECK(cond)
+#endif

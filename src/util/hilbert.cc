@@ -1,0 +1,56 @@
+#include "util/hilbert.h"
+
+#include "util/check.h"
+
+namespace bsio {
+
+namespace {
+
+// Rotate/flip a quadrant appropriately.
+void rot(std::uint32_t n, std::uint32_t& x, std::uint32_t& y, std::uint32_t rx,
+         std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = n - 1 - x;
+      y = n - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+
+bool is_pow2(std::uint32_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+std::pair<std::uint32_t, std::uint32_t> hilbert_d2xy(std::uint32_t side,
+                                                     std::uint64_t d) {
+  BSIO_CHECK(is_pow2(side));
+  BSIO_CHECK(d < static_cast<std::uint64_t>(side) * side);
+  std::uint32_t x = 0, y = 0;
+  std::uint64_t t = d;
+  for (std::uint32_t s = 1; s < side; s *= 2) {
+    std::uint32_t rx = 1 & static_cast<std::uint32_t>(t / 2);
+    std::uint32_t ry = 1 & static_cast<std::uint32_t>(t ^ rx);
+    rot(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+std::uint64_t hilbert_xy2d(std::uint32_t side, std::uint32_t x,
+                           std::uint32_t y) {
+  BSIO_CHECK(is_pow2(side));
+  BSIO_CHECK(x < side && y < side);
+  std::uint64_t d = 0;
+  for (std::uint32_t s = side / 2; s > 0; s /= 2) {
+    std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    rot(s, x, y, rx, ry);
+  }
+  return d;
+}
+
+}  // namespace bsio

@@ -1,0 +1,23 @@
+// 2-D Hilbert space-filling curve.
+//
+// The SAT workload emulator declusters spatio-temporal data chunks across
+// storage nodes in Hilbert order (Faloutsos & Roseman, PODS'89), mirroring
+// the paper's Section 7 setup. The curve maps between a linear index d and
+// grid coordinates (x, y) on a 2^order x 2^order grid.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace bsio {
+
+// Maps distance-along-curve d in [0, side*side) to (x, y); side must be a
+// power of two.
+std::pair<std::uint32_t, std::uint32_t> hilbert_d2xy(std::uint32_t side,
+                                                     std::uint64_t d);
+
+// Inverse of hilbert_d2xy.
+std::uint64_t hilbert_xy2d(std::uint32_t side, std::uint32_t x,
+                           std::uint32_t y);
+
+}  // namespace bsio

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// Verbosity is a process-wide setting (set once at startup by examples /
+// benches); the library itself only logs at kDebug/kInfo so silent-by-default
+// embedding is possible.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bsio {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace bsio
+
+#define BSIO_LOG(level)                                  \
+  if (static_cast<int>(::bsio::LogLevel::level) <        \
+      static_cast<int>(::bsio::log_level()))             \
+    ;                                                    \
+  else                                                   \
+    ::bsio::detail::LogLine(::bsio::LogLevel::level)

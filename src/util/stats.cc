@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bsio {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double median(std::vector<double> v) { return percentile(std::move(v), 50.0); }
+
+double percentile(std::vector<double> v, double p) {
+  BSIO_CHECK(!v.empty());
+  BSIO_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  auto lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+double min_of(const std::vector<double>& v) {
+  BSIO_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  BSIO_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+double sum_of(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace bsio

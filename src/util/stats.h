@@ -1,0 +1,39 @@
+// Small statistics helpers used by workload analysis and bench reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bsio {
+
+double mean(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);  // population std deviation
+double median(std::vector<double> v);         // by value: sorts a copy
+// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> v, double p);
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+double sum_of(const std::vector<double>& v);
+
+// Online accumulator (Welford) for streaming series.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace bsio

@@ -1,0 +1,37 @@
+// Aligned text table / CSV emitter used by the bench harness to print
+// paper-style result rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bsio {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Row cells; formatting helpers for doubles are on the caller side
+  // (see format_seconds / format_fixed below).
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Render aligned, pipe-separated text (markdown-ish, readable in a log).
+  std::string to_text() const;
+  // Render as CSV.
+  std::string to_csv() const;
+
+  // Print to stdout with a title banner.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_fixed(double v, int digits);
+std::string format_seconds(double seconds);  // "123.4s" / "12.34s" adaptive
+std::string format_bytes(double bytes);      // "1.5 GB" adaptive
+
+}  // namespace bsio

@@ -1,0 +1,49 @@
+#include "workload/calibrate.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "workload/stats.h"
+
+namespace bsio::wl {
+
+CalibrationResult calibrate_overlap(const SpreadGenerator& gen, double target,
+                                    double tolerance, int max_iters) {
+  BSIO_CHECK(target >= 0.0 && target < 1.0);
+  double lo = 0.0, hi = 1.0;
+
+  CalibrationResult best{gen(0.0), 0.0, 0.0};
+  best.achieved_overlap = overlap_fraction(best.workload);
+  double best_err = std::abs(best.achieved_overlap - target);
+
+  auto consider = [&](double spread) {
+    Workload w = gen(spread);
+    double ov = overlap_fraction(w);
+    double err = std::abs(ov - target);
+    if (err < best_err) {
+      best = CalibrationResult{std::move(w), spread, ov};
+      best_err = err;
+    }
+    return ov;
+  };
+
+  // Check the scattered extreme too before bisecting.
+  consider(1.0);
+
+  for (int i = 0; i < max_iters && best_err > tolerance; ++i) {
+    double mid = 0.5 * (lo + hi);
+    double ov = consider(mid);
+    // Overlap decreases with spread: too much overlap -> move right.
+    if (ov > target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  BSIO_LOG(kInfo) << "calibrate_overlap: target=" << target
+                  << " achieved=" << best.achieved_overlap
+                  << " spread=" << best.spread;
+  return best;
+}
+
+}  // namespace bsio::wl

@@ -1,0 +1,30 @@
+// Overlap calibration.
+//
+// The SAT and IMAGE emulators expose a single "spread" knob in [0, 1]:
+// spread 0 concentrates every task on its hot spot (maximum file sharing),
+// spread 1 scatters tasks as widely as the dataset allows (minimum sharing).
+// Measured overlap is monotone non-increasing in spread, so a bisection on
+// spread reproduces the paper's calibrated 85% / 40% / 10% / 0% workloads.
+#pragma once
+
+#include <functional>
+
+#include "workload/types.h"
+
+namespace bsio::wl {
+
+using SpreadGenerator = std::function<Workload(double spread)>;
+
+struct CalibrationResult {
+  Workload workload;
+  double spread = 0.0;
+  double achieved_overlap = 0.0;
+};
+
+// Bisects spread until |overlap - target| <= tolerance or max_iters is hit;
+// returns the closest workload found.
+CalibrationResult calibrate_overlap(const SpreadGenerator& gen, double target,
+                                    double tolerance = 0.02,
+                                    int max_iters = 24);
+
+}  // namespace bsio::wl

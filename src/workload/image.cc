@@ -1,0 +1,85 @@
+#include "workload/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bsio::wl {
+
+Workload make_image(const ImageConfig& cfg, double spread) {
+  BSIO_CHECK(cfg.num_patients > 0 && cfg.studies_per_patient > 0);
+  BSIO_CHECK(cfg.mri_window <= cfg.mri_per_study);
+  BSIO_CHECK(spread >= 0.0 && spread <= 1.0);
+  Rng rng(cfg.seed);
+
+  const std::size_t files_per_study = cfg.ct_per_study + cfg.mri_per_study;
+  const std::size_t files_per_patient =
+      files_per_study * cfg.studies_per_patient;
+  const std::size_t num_files = files_per_patient * cfg.num_patients;
+
+  // File id layout: patient-major, study-minor, CT images first then MRI
+  // series in acquisition order. Round-robin placement across storage nodes.
+  std::vector<FileInfo> files(num_files);
+  for (std::size_t id = 0; id < num_files; ++id) {
+    std::size_t within_study = id % files_per_study;
+    files[id].size_bytes = within_study < cfg.ct_per_study
+                               ? cfg.ct_size_bytes
+                               : cfg.mri_size_bytes;
+    files[id].home_storage_node =
+        static_cast<NodeId>(id % cfg.num_storage_nodes);
+  }
+  auto study_base = [&](std::size_t patient, std::size_t study) {
+    return patient * files_per_patient + study * files_per_study;
+  };
+
+  // Spread drives the number of distinct (patient, study) combos the batch
+  // touches: spread 0 -> a single hot combo; spread 1 -> one combo per task
+  // (no sharing). MRI-window jitter within a combo adds partial overlap.
+  const std::size_t total_combos = cfg.num_patients * cfg.studies_per_patient;
+  std::size_t combos = static_cast<std::size_t>(std::llround(
+      1.0 + spread * (static_cast<double>(cfg.num_tasks) - 1.0)));
+  combos = std::min(combos, std::min(total_combos, cfg.num_tasks));
+
+  // Draw the combo pool without replacement over all (patient, study) pairs.
+  std::vector<std::size_t> pool = rng.sample_without_replacement(
+      total_combos, combos);
+
+  const std::size_t mri_slack = cfg.mri_per_study - cfg.mri_window;
+  std::vector<TaskInfo> tasks(cfg.num_tasks);
+  for (std::size_t t = 0; t < cfg.num_tasks; ++t) {
+    // spread == 1 must give fully disjoint tasks: assign combos one-to-one.
+    std::size_t combo =
+        combos >= cfg.num_tasks ? pool[t] : pool[rng.uniform(combos)];
+    std::size_t patient = combo / cfg.studies_per_patient;
+    std::size_t study = combo % cfg.studies_per_patient;
+    std::size_t base = study_base(patient, study);
+
+    auto& fs = tasks[t].files;
+    for (std::size_t c = 0; c < cfg.ct_per_study; ++c)
+      fs.push_back(static_cast<FileId>(base + c));
+    // MRI date-range window; jitter scales with spread.
+    std::size_t max_off = static_cast<std::size_t>(
+        std::llround(spread * static_cast<double>(mri_slack)));
+    std::size_t off = max_off > 0 ? rng.uniform(max_off + 1) : 0;
+    for (std::size_t m = 0; m < cfg.mri_window; ++m)
+      fs.push_back(
+          static_cast<FileId>(base + cfg.ct_per_study + off + m));
+    std::sort(fs.begin(), fs.end());
+
+    double bytes = 0.0;
+    for (FileId f : fs) bytes += files[f].size_bytes;
+    tasks[t].compute_seconds = bytes * cfg.compute_seconds_per_byte;
+  }
+
+  return Workload(std::move(tasks), std::move(files));
+}
+
+CalibrationResult make_image_calibrated(const ImageConfig& cfg,
+                                        double target_overlap) {
+  return calibrate_overlap(
+      [&cfg](double spread) { return make_image(cfg, spread); },
+      target_overlap);
+}
+
+}  // namespace bsio::wl

@@ -1,0 +1,48 @@
+// IMAGE: biomedical image analysis workload emulator (paper Section 7).
+//
+// The dataset models follow-up imaging studies: `num_patients` patients,
+// each with `studies_per_patient` studies (imaging sessions on different
+// days); every study holds `ct_per_study` CT images (64 MB) and
+// `mri_per_study` MRI images (4 MB), each stored in its own file. With the
+// defaults (2000 patients x 4 studies x {2 CT, 32 MRI}) the dataset is
+// ~2 TB, matching the paper. Files of each patient are distributed across
+// the storage nodes round-robin.
+//
+// A task selects a (patient, study) pair and requests the study's CT images
+// plus a window of consecutive MRI images (modality/date-range selection).
+// Overlap between tasks is controlled by how many distinct (patient, study)
+// pairs the batch draws from and by MRI-window jitter — both driven by the
+// single "spread" knob, calibrated to the paper's 85% / 40% / 0% cases.
+#pragma once
+
+#include "util/rng.h"
+#include "workload/calibrate.h"
+#include "workload/types.h"
+
+namespace bsio::wl {
+
+struct ImageConfig {
+  std::size_t num_patients = 2000;
+  std::size_t studies_per_patient = 4;
+  std::size_t ct_per_study = 2;
+  std::size_t mri_per_study = 32;
+  double ct_size_bytes = 64.0 * 1024 * 1024;
+  double mri_size_bytes = 4.0 * 1024 * 1024;
+  std::size_t num_storage_nodes = 4;
+  std::size_t num_tasks = 100;
+  // Files per task = ct_per_study + mri_window (default 2 + 6 = 8, the
+  // paper's average).
+  std::size_t mri_window = 6;
+  double compute_seconds_per_byte = 0.001 / (1024.0 * 1024.0);
+  std::uint64_t seed = 1;
+};
+
+// Raw generator with an explicit spread in [0, 1].
+Workload make_image(const ImageConfig& cfg, double spread);
+
+// Calibrated generator for a target overlap fraction (0.0 gives fully
+// disjoint tasks, reproducing the paper's "0% overlap" low case).
+CalibrationResult make_image_calibrated(const ImageConfig& cfg,
+                                        double target_overlap);
+
+}  // namespace bsio::wl

@@ -1,0 +1,153 @@
+#include "workload/sat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/hilbert.h"
+
+namespace bsio::wl {
+
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Workload make_sat(const SatConfig& cfg, double spread) {
+  BSIO_CHECK(is_pow2(cfg.grid_side));
+  BSIO_CHECK(cfg.days > 0 && cfg.num_tasks > 0 && cfg.num_hotspots > 0);
+  BSIO_CHECK(spread >= 0.0 && spread <= 1.0);
+  Rng rng(cfg.seed);
+
+  const std::size_t side = cfg.grid_side;
+  const std::size_t cells = side * side;
+  const std::size_t num_files = cells * cfg.days;
+
+  // File id layout: day-major, Hilbert-rank-minor. Consecutive Hilbert ranks
+  // land on different storage nodes (declustering), so a spatially local
+  // window fans out over the whole storage cluster.
+  std::vector<FileInfo> files(num_files);
+  for (std::size_t day = 0; day < cfg.days; ++day) {
+    for (std::size_t h = 0; h < cells; ++h) {
+      std::size_t id = day * cells + h;
+      files[id].size_bytes = cfg.file_size_bytes;
+      files[id].home_storage_node =
+          static_cast<NodeId>(id % cfg.num_storage_nodes);
+    }
+  }
+  auto file_of = [&](std::size_t day, std::uint32_t x, std::uint32_t y) {
+    std::uint64_t h = hilbert_xy2d(static_cast<std::uint32_t>(side), x, y);
+    return static_cast<FileId>(day * cells + h);
+  };
+
+  // Hot spots: evenly spaced in space and time.
+  struct Spot {
+    std::size_t cx, cy, cday;
+  };
+  std::vector<Spot> spots(cfg.num_hotspots);
+  for (std::size_t s = 0; s < cfg.num_hotspots; ++s) {
+    // Lay hot spots out on a coarse diagonal-ish pattern so the regions are
+    // disjoint, matching "queries directed to geographically distant parts
+    // of the world".
+    spots[s].cx = (side * (2 * (s % 2) + 1)) / 4;
+    spots[s].cy = (side * (2 * ((s / 2) % 2) + 1)) / 4;
+    spots[s].cday = (cfg.days * (2 * s + 1)) / (2 * cfg.num_hotspots);
+  }
+
+  // Window geometry: 2x2 spatial chunks; temporal depth drawn around
+  // files_per_task / 4 so the average matches the configured value.
+  const double depth_mean = cfg.files_per_task / 4.0;
+  const auto depth_lo =
+      static_cast<std::size_t>(std::max(1.0, std::floor(depth_mean)));
+  const std::size_t depth_hi = static_cast<std::size_t>(
+      std::max<double>(static_cast<double>(depth_lo), std::ceil(depth_mean)));
+  const double hi_prob =
+      depth_hi == depth_lo ? 0.0 : depth_mean - static_cast<double>(depth_lo);
+
+  // Placement blends two extremes as spread grows: at spread 0 every window
+  // sits on its hot spot (maximum sharing); at spread 1 windows tile the
+  // dataset — disjoint 2x2 spatial blocks crossed with day strides — which
+  // realises (close to) the minimum overlap the dataset size permits. This
+  // mirrors "queries adjusted such that they resulted in X% overlap" from
+  // the paper.
+  const std::size_t blocks_per_axis = side / 2;
+  const std::size_t num_blocks = blocks_per_axis * blocks_per_axis;
+  // Temporal tiling of each block: a mix of depth_lo / depth_hi windows
+  // that covers all days exactly (when depth_hi == depth_lo + 1 and days is
+  // representable; otherwise the last window is clamped at the end).
+  std::vector<std::size_t> slot_start, slot_depth;
+  for (std::size_t day = 0; day < cfg.days;) {
+    std::size_t remaining = cfg.days - day;
+    std::size_t d = depth_lo;
+    if (depth_hi > depth_lo && remaining % depth_lo != 0) d = depth_hi;
+    d = std::min(d, remaining);
+    slot_start.push_back(day);
+    slot_depth.push_back(d);
+    day += d;
+  }
+  const std::size_t num_day_slots = slot_start.size();
+  const std::size_t num_slots = num_blocks * num_day_slots;
+
+  std::vector<TaskInfo> tasks(cfg.num_tasks);
+  for (std::size_t t = 0; t < cfg.num_tasks; ++t) {
+    const Spot& spot = spots[t % cfg.num_hotspots];
+    // Stratified anchor: spread task windows evenly over the tiling slots.
+    const std::size_t slot = (t * num_slots) / cfg.num_tasks;
+    const std::size_t sb = slot % num_blocks;
+    const std::size_t sx = (sb % blocks_per_axis) * 2;
+    const std::size_t sy = (sb / blocks_per_axis) * 2;
+    const std::size_t ds = slot / num_blocks;
+    const std::size_t strat_day = slot_start[ds];
+
+    auto blend = [&](double hot, double strat, double jitter_radius) {
+      double pos = (1.0 - spread) * hot + spread * strat;
+      pos += rng.uniform_double(-1.0, 1.0) * spread * (1.0 - spread) * 4.0 *
+             jitter_radius;
+      return static_cast<long>(std::llround(pos));
+    };
+    auto clamp_idx = [](long v, std::size_t n) {
+      return static_cast<std::size_t>(
+          std::clamp<long>(v, 0, static_cast<long>(n) - 1));
+    };
+    std::size_t x0 = clamp_idx(
+        blend(static_cast<double>(spot.cx), static_cast<double>(sx), 1.0),
+        side - 1);
+    std::size_t y0 = clamp_idx(
+        blend(static_cast<double>(spot.cy), static_cast<double>(sy), 1.0),
+        side - 1);
+    // Window depth: follows the tiling's slot depth at full spread (exact
+    // cover), the configured random mix at zero spread.
+    std::size_t depth = rng.bernoulli(spread)
+                            ? slot_depth[ds]
+                            : (rng.bernoulli(hi_prob) ? depth_hi : depth_lo);
+    std::size_t d0 = clamp_idx(
+        blend(static_cast<double>(spot.cday), static_cast<double>(strat_day),
+              1.0),
+        cfg.days >= depth ? cfg.days - depth + 1 : 1);
+
+    std::unordered_set<FileId> chosen;
+    for (std::size_t dd = 0; dd < depth && d0 + dd < cfg.days; ++dd)
+      for (std::size_t dx = 0; dx < 2; ++dx)
+        for (std::size_t dy = 0; dy < 2; ++dy)
+          chosen.insert(file_of(d0 + dd, static_cast<std::uint32_t>(x0 + dx),
+                                static_cast<std::uint32_t>(y0 + dy)));
+
+    tasks[t].files.assign(chosen.begin(), chosen.end());
+    std::sort(tasks[t].files.begin(), tasks[t].files.end());
+    double bytes = 0.0;
+    for (FileId f : tasks[t].files) bytes += files[f].size_bytes;
+    tasks[t].compute_seconds = bytes * cfg.compute_seconds_per_byte;
+  }
+
+  return Workload(std::move(tasks), std::move(files));
+}
+
+CalibrationResult make_sat_calibrated(const SatConfig& cfg,
+                                      double target_overlap) {
+  return calibrate_overlap(
+      [&cfg](double spread) { return make_sat(cfg, spread); }, target_overlap);
+}
+
+}  // namespace bsio::wl

@@ -1,0 +1,45 @@
+// SAT: satellite data processing workload emulator (paper Section 7).
+//
+// The dataset is a spatio-temporal grid of data chunks — one file per chunk
+// — covering `days` time steps over a `grid_side` x `grid_side` spatial grid
+// (grid_side must be a power of two for the Hilbert curve). Files are
+// declustered across storage nodes in Hilbert order (Faloutsos & Roseman),
+// the method the paper cites for the 50 GB / 20-day dataset of 50 MB files.
+//
+// A task is a query with a spatio-temporal window anchored near one of
+// `num_hotspots` hot-spot regions; the window's placement jitter ("spread")
+// controls the file overlap between tasks. Use make_sat for a raw spread, or
+// make_sat_calibrated to hit a target overlap (85% / 40% / 10% in the
+// paper's high / medium / low cases).
+#pragma once
+
+#include "util/rng.h"
+#include "workload/calibrate.h"
+#include "workload/types.h"
+
+namespace bsio::wl {
+
+struct SatConfig {
+  std::size_t days = 20;
+  std::size_t grid_side = 8;  // power of two; 8x8 chunks per day
+  double file_size_bytes = 50.0 * 1024 * 1024;
+  std::size_t num_storage_nodes = 4;
+  std::size_t num_tasks = 100;
+  std::size_t num_hotspots = 4;
+  // Average files per task; the paper uses 8 (high overlap) and 14
+  // (medium/low). The spatial window is 2x2 chunks; the temporal depth is
+  // drawn to hit this average.
+  double files_per_task = 8.0;
+  double compute_seconds_per_byte = 0.001 / (1024.0 * 1024.0);
+  std::uint64_t seed = 1;
+};
+
+// Raw generator: spread in [0, 1] scales window-placement jitter around the
+// task's hot spot from "pinned to the hot spot" to "anywhere in the grid".
+Workload make_sat(const SatConfig& cfg, double spread);
+
+// Calibrated generator for a target overlap fraction.
+CalibrationResult make_sat_calibrated(const SatConfig& cfg,
+                                      double target_overlap);
+
+}  // namespace bsio::wl

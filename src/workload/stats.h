@@ -1,0 +1,28 @@
+// Workload measurement: the paper characterises workloads by their file
+// overlap percentage (share of file requests that hit an already-requested
+// file), files-per-task, and aggregate data volume.
+#pragma once
+
+#include "workload/types.h"
+
+namespace bsio::wl {
+
+struct WorkloadStats {
+  std::size_t num_tasks = 0;
+  std::size_t num_requested_files = 0;  // distinct files with >= 1 requester
+  std::size_t total_requests = 0;       // sum over tasks of |Access_k|
+  double overlap = 0.0;          // 1 - distinct/total, in [0, 1)
+  double avg_files_per_task = 0.0;
+  double avg_sharing_degree = 0.0;  // mean |Require_l| over requested files
+  double unique_bytes = 0.0;        // one copy of each requested file
+  double total_request_bytes = 0.0;
+  double total_compute_seconds = 0.0;
+};
+
+WorkloadStats measure(const Workload& w);
+
+// The overlap definition used throughout (paper Section 7): the fraction of
+// file requests that are repeats of a file another request already named.
+double overlap_fraction(const Workload& w);
+
+}  // namespace bsio::wl

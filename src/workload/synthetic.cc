@@ -1,0 +1,69 @@
+#include "workload/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace bsio::wl {
+
+Workload make_synthetic(const SyntheticConfig& cfg) {
+  BSIO_CHECK(cfg.num_tasks > 0);
+  BSIO_CHECK(cfg.files_per_task > 0);
+  BSIO_CHECK(cfg.overlap >= 0.0 && cfg.overlap < 1.0);
+  Rng rng(cfg.seed);
+
+  const std::size_t total_requests = cfg.num_tasks * cfg.files_per_task;
+  std::size_t pool = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(total_requests) * (1.0 - cfg.overlap)));
+  pool = std::max(pool, cfg.files_per_task);
+
+  std::vector<FileInfo> files(pool);
+  for (std::size_t f = 0; f < pool; ++f) {
+    double jitter =
+        cfg.file_size_jitter > 0.0
+            ? 1.0 + cfg.file_size_jitter * (rng.uniform_double() * 2.0 - 1.0)
+            : 1.0;
+    files[f].size_bytes = cfg.file_size_bytes * jitter;
+    files[f].home_storage_node =
+        static_cast<NodeId>(f % std::max<std::size_t>(1, cfg.num_storage_nodes));
+  }
+
+  const auto hot_count = static_cast<std::size_t>(
+      std::floor(static_cast<double>(pool) * cfg.hot_fraction));
+
+  // First deal every pool file out once (in random order) so the distinct
+  // file count — and hence the measured overlap — matches the target
+  // exactly; only the remaining requests sample randomly.
+  std::vector<FileId> undealt(pool);
+  for (std::size_t f = 0; f < pool; ++f) undealt[f] = static_cast<FileId>(f);
+  rng.shuffle(undealt);
+  std::size_t deal_cursor = 0;
+
+  std::vector<TaskInfo> tasks(cfg.num_tasks);
+  for (std::size_t t = 0; t < cfg.num_tasks; ++t) {
+    // Spread the dealt files evenly over tasks.
+    const std::size_t deal_end = (pool * (t + 1)) / cfg.num_tasks;
+    std::unordered_set<FileId> chosen;
+    while (chosen.size() < cfg.files_per_task && deal_cursor < deal_end)
+      chosen.insert(undealt[deal_cursor++]);
+    while (chosen.size() < cfg.files_per_task) {
+      std::size_t f;
+      if (hot_count > 0 && rng.bernoulli(cfg.hot_probability))
+        f = rng.uniform(hot_count);
+      else
+        f = rng.uniform(pool);
+      chosen.insert(static_cast<FileId>(f));
+    }
+    tasks[t].files.assign(chosen.begin(), chosen.end());
+    std::sort(tasks[t].files.begin(), tasks[t].files.end());
+    double bytes = 0.0;
+    for (FileId f : tasks[t].files) bytes += files[f].size_bytes;
+    tasks[t].compute_seconds = bytes * cfg.compute_seconds_per_byte;
+  }
+
+  return Workload(std::move(tasks), std::move(files));
+}
+
+}  // namespace bsio::wl

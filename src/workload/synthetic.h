@@ -1,0 +1,34 @@
+// Synthetic overlap-controlled workload generator.
+//
+// Used by tests and ablations where we need precise control over the batch's
+// file-sharing structure without the domain detail of the SAT/IMAGE
+// emulators. Tasks draw files from a pool whose size directly determines the
+// overlap fraction.
+#pragma once
+
+#include "util/rng.h"
+#include "workload/types.h"
+
+namespace bsio::wl {
+
+struct SyntheticConfig {
+  std::size_t num_tasks = 100;
+  std::size_t files_per_task = 8;
+  // Target overlap in [0, 1). The pool size is chosen as
+  // ceil(num_tasks * files_per_task * (1 - overlap)).
+  double overlap = 0.85;
+  double file_size_bytes = 50.0 * 1024 * 1024;
+  // Relative jitter applied to file sizes, in [0, 1). 0 = uniform sizes.
+  double file_size_jitter = 0.0;
+  double compute_seconds_per_byte = 0.001 / (1024.0 * 1024.0);  // 0.001 s/MB
+  std::size_t num_storage_nodes = 4;
+  // Hot-set skew: probability mass concentrated on a small hot subset of the
+  // pool (0 = uniform). Models "hot spot" access patterns.
+  double hot_fraction = 0.0;   // fraction of pool that is hot
+  double hot_probability = 0.0;  // probability a request goes to the hot set
+  std::uint64_t seed = 1;
+};
+
+Workload make_synthetic(const SyntheticConfig& cfg);
+
+}  // namespace bsio::wl

@@ -1,0 +1,73 @@
+#include "workload/types.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace bsio::wl {
+
+Workload::Workload(std::vector<TaskInfo> tasks, std::vector<FileInfo> files)
+    : tasks_(std::move(tasks)), files_(std::move(files)) {
+  // Normalise: ids positional, per-task lists sorted/deduped.
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    tasks_[i].id = static_cast<TaskId>(i);
+    auto& fs = tasks_[i].files;
+    std::sort(fs.begin(), fs.end());
+    fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+  }
+  for (std::size_t i = 0; i < files_.size(); ++i)
+    files_[i].id = static_cast<FileId>(i);
+  build_inverse();
+  validate();
+}
+
+void Workload::build_inverse() {
+  tasks_of_file_.assign(files_.size(), {});
+  for (const auto& t : tasks_)
+    for (FileId f : t.files) {
+      BSIO_CHECK_MSG(f < files_.size(), "task references unknown file");
+      tasks_of_file_[f].push_back(t.id);
+    }
+}
+
+double Workload::unique_request_bytes() const {
+  double total = 0.0;
+  for (const auto& f : files_)
+    if (!tasks_of_file_[f.id].empty()) total += f.size_bytes;
+  return total;
+}
+
+double Workload::total_request_bytes() const {
+  double total = 0.0;
+  for (const auto& t : tasks_)
+    for (FileId f : t.files) total += files_[f].size_bytes;
+  return total;
+}
+
+Workload Workload::subset(const std::vector<TaskId>& task_ids) const {
+  std::vector<TaskInfo> ts;
+  ts.reserve(task_ids.size());
+  for (TaskId t : task_ids) {
+    BSIO_CHECK(t < tasks_.size());
+    ts.push_back(tasks_[t]);
+  }
+  return Workload(std::move(ts), files_);
+}
+
+void Workload::validate() const {
+  for (const auto& f : files_) {
+    BSIO_CHECK_MSG(f.size_bytes > 0.0, "file sizes must be positive");
+  }
+  for (const auto& t : tasks_) {
+    BSIO_CHECK_MSG(t.compute_seconds >= 0.0, "negative compute time");
+    BSIO_CHECK_MSG(std::is_sorted(t.files.begin(), t.files.end()),
+                   "task file list must be sorted");
+    BSIO_CHECK_MSG(
+        std::adjacent_find(t.files.begin(), t.files.end()) == t.files.end(),
+        "task file list must be unique");
+    for (FileId f : t.files) BSIO_CHECK(f < files_.size());
+  }
+}
+
+}  // namespace bsio::wl

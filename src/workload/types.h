@@ -1,0 +1,78 @@
+// Core batch / task / file types shared by every layer of the library.
+//
+// A Workload is a batch of independent tasks plus the catalogue of files the
+// batch touches. Files are the unit of I/O transfer; each file has a home
+// storage node (its initial and only location). Task compute cost is given
+// in seconds (the emulators derive it from input volume at a configurable
+// per-byte compute rate, matching the paper's 0.001 s/MB testbed figure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsio::wl {
+
+using TaskId = std::uint32_t;
+using FileId = std::uint32_t;
+using NodeId = std::uint32_t;
+
+inline constexpr FileId kInvalidFile = static_cast<FileId>(-1);
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct FileInfo {
+  FileId id = kInvalidFile;
+  double size_bytes = 0.0;
+  NodeId home_storage_node = kInvalidNode;
+};
+
+struct TaskInfo {
+  TaskId id = kInvalidTask;
+  double compute_seconds = 0.0;
+  // Distinct files this task reads (sorted ascending, no duplicates).
+  std::vector<FileId> files;
+};
+
+class Workload {
+ public:
+  Workload() = default;
+  Workload(std::vector<TaskInfo> tasks, std::vector<FileInfo> files);
+
+  const std::vector<TaskInfo>& tasks() const { return tasks_; }
+  const std::vector<FileInfo>& files() const { return files_; }
+  const TaskInfo& task(TaskId t) const { return tasks_[t]; }
+  const FileInfo& file(FileId f) const { return files_[f]; }
+  std::size_t num_tasks() const { return tasks_.size(); }
+  std::size_t num_files() const { return files_.size(); }
+
+  // Tasks that read file f ("Require_l" in the paper). Built lazily-once at
+  // construction.
+  const std::vector<TaskId>& tasks_of_file(FileId f) const {
+    return tasks_of_file_[f];
+  }
+
+  double file_size(FileId f) const { return files_[f].size_bytes; }
+
+  // Total bytes of one copy of every file any task requests.
+  double unique_request_bytes() const;
+  // Total bytes summed over every (task, file) request.
+  double total_request_bytes() const;
+
+  // Restrict to a subset of tasks, keeping file ids stable (files not
+  // referenced by the subset remain in the catalogue but have no requesters).
+  Workload subset(const std::vector<TaskId>& task_ids) const;
+
+  // Validation: file ids in range, per-task file lists sorted and unique,
+  // sizes positive. Aborts via BSIO_CHECK on violation.
+  void validate() const;
+
+ private:
+  void build_inverse();
+
+  std::vector<TaskInfo> tasks_;
+  std::vector<FileInfo> files_;
+  std::vector<std::vector<TaskId>> tasks_of_file_;
+};
+
+}  // namespace bsio::wl

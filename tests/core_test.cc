@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/batch_scheduler.h"
+#include "core/experiment.h"
+#include "workload/synthetic.h"
+
+namespace bsio::core {
+namespace {
+
+wl::Workload tiny_batch(std::uint64_t seed = 3) {
+  wl::SyntheticConfig cfg;
+  cfg.num_tasks = 12;
+  cfg.files_per_task = 3;
+  cfg.overlap = 0.5;
+  cfg.file_size_bytes = 32.0 * sim::kMB;
+  cfg.num_storage_nodes = 2;
+  cfg.seed = seed;
+  return wl::make_synthetic(cfg);
+}
+
+TEST(Facade, NamesAndEnumeration) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kIp), "IP");
+  EXPECT_STREQ(algorithm_name(Algorithm::kBiPartition), "BiPartition");
+  EXPECT_STREQ(algorithm_name(Algorithm::kMinMin), "MinMin");
+  EXPECT_STREQ(algorithm_name(Algorithm::kJobDataPresent), "JobDataPresent");
+  EXPECT_EQ(all_algorithms().size(), 4u);
+}
+
+TEST(Facade, MakeSchedulerMatchesName) {
+  for (Algorithm a : all_algorithms()) {
+    auto s = make_scheduler(a);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), algorithm_name(a));
+  }
+}
+
+TEST(Facade, RunBatchSchedulerEndToEnd) {
+  wl::Workload w = tiny_batch();
+  sim::ClusterConfig c = sim::xio_cluster(2, 2);
+  for (Algorithm a : all_algorithms()) {
+    SCOPED_TRACE(algorithm_name(a));
+    RunOptions opts;
+    opts.ip.allocation_mip.time_limit_seconds = 3.0;
+    auto r = run_batch_scheduler(a, w, c, opts);
+    EXPECT_EQ(r.scheduler, algorithm_name(a));
+    EXPECT_GT(r.batch_time, 0.0);
+    EXPECT_EQ(r.stats.tasks_executed, w.num_tasks());
+  }
+}
+
+TEST(Experiment, RunsCasesAndRendersTables) {
+  wl::Workload w = tiny_batch(9);
+  ExperimentOptions opts;
+  opts.algorithms = {Algorithm::kBiPartition, Algorithm::kMinMin};
+  opts.echo_progress = false;
+  std::vector<ExperimentCase> cases{
+      {"case A", w, sim::xio_cluster(2, 2)},
+      {"case B", w, sim::osumed_cluster(2, 2)},
+  };
+  auto results = run_experiment(cases, opts);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_EQ(r.runs.size(), 2u);
+
+  Table bt = batch_time_table(results, opts.algorithms);
+  EXPECT_EQ(bt.num_rows(), 2u);
+  EXPECT_NE(bt.to_text().find("case A"), std::string::npos);
+  EXPECT_NE(bt.to_csv().find("case B"), std::string::npos);
+
+  Table ot = overhead_table(results, opts.algorithms);
+  EXPECT_EQ(ot.num_rows(), 2u);
+
+  Table tt = transfer_table(results, opts.algorithms);
+  EXPECT_EQ(tt.num_rows(), 4u);  // 2 cases x 2 algorithms
+}
+
+TEST(Experiment, OsumedSlowerThanXio) {
+  // Same workload, storage an order of magnitude slower: batch time must
+  // reflect it.
+  wl::Workload w = tiny_batch(17);
+  ExperimentOptions opts;
+  opts.algorithms = {Algorithm::kBiPartition};
+  opts.echo_progress = false;
+  auto results = run_experiment({{"xio", w, sim::xio_cluster(2, 2)},
+                                 {"osumed", w, sim::osumed_cluster(2, 2)}},
+                                opts);
+  EXPECT_GT(results[1].runs[0].batch_time, results[0].runs[0].batch_time);
+}
+
+}  // namespace
+}  // namespace bsio::core

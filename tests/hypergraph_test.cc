@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "hypergraph/hypergraph.h"
+#include "hypergraph/metrics.h"
+#include "hypergraph/partitioner.h"
+#include "util/rng.h"
+
+namespace bsio::hg {
+namespace {
+
+// The example of paper Figure 2: 5 tasks, files a..e with sharing
+//   a:{1,2}, b:{1,2,3}, c:{3,4}, d:{4,5}, e:{2,5}   (1-based tasks)
+Hypergraph figure2() {
+  HypergraphBuilder b;
+  for (int i = 0; i < 5; ++i) b.add_vertex(1.0);
+  b.add_net(1.0, {0, 1});        // a
+  b.add_net(1.0, {0, 1, 2});     // b
+  b.add_net(1.0, {2, 3});        // c
+  b.add_net(1.0, {3, 4});        // d
+  b.add_net(1.0, {1, 4});        // e
+  return b.build();
+}
+
+TEST(Builder, DedupesPinsAndFoldsTinyNets) {
+  HypergraphBuilder b;
+  VertexId v0 = b.add_vertex(2.0);
+  VertexId v1 = b.add_vertex(3.0);
+  b.add_net(5.0, {v0, v0});   // collapses to size 1 -> folded into v0
+  b.add_net(7.0, {v1});       // size 1 -> folded into v1
+  b.add_net(1.0, {});         // dropped
+  b.add_net(4.0, {v0, v1});   // survives
+  Hypergraph h = b.build();
+  EXPECT_EQ(h.num_vertices(), 2u);
+  EXPECT_EQ(h.num_nets(), 1u);
+  EXPECT_DOUBLE_EQ(h.folded_net_weight(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.folded_net_weight(1), 7.0);
+  EXPECT_DOUBLE_EQ(h.total_net_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(h.total_vertex_weight(), 5.0);
+}
+
+TEST(Builder, CsrCrossConsistency) {
+  Hypergraph h = figure2();
+  EXPECT_EQ(h.num_vertices(), 5u);
+  EXPECT_EQ(h.num_nets(), 5u);
+  // vertex 1 (task 2) is in nets a, b, e.
+  std::set<NetId> nets1(h.nets_begin(1), h.nets_end(1));
+  EXPECT_EQ(nets1.size(), 3u);
+  // Every pin relation appears in both CSR directions.
+  for (NetId n = 0; n < h.num_nets(); ++n)
+    for (VertexId v : h.pins(n)) {
+      auto span = h.nets(v);
+      EXPECT_NE(std::find(span.begin(), span.end(), n), span.end());
+    }
+}
+
+TEST(Metrics, ConnectivityMinusOneMatchesHand) {
+  Hypergraph h = figure2();
+  // Parts {1,2,3} | {4,5} (0-based {0,1,2} | {3,4}).
+  std::vector<int> parts{0, 0, 0, 1, 1};
+  // Cut nets: c (lambda 2), e (lambda 2) -> cost 2; a, b, d internal.
+  EXPECT_DOUBLE_EQ(connectivity_minus_one(h, parts, 2), 2.0);
+  EXPECT_DOUBLE_EQ(cut_net_weight(h, parts, 2), 2.0);
+  EXPECT_EQ(num_cut_nets(h, parts, 2), 2u);
+  auto w = part_weights(h, parts, 2);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(Metrics, ConnectivityCountsEachExtraPart) {
+  HypergraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.add_vertex(1.0);
+  b.add_net(2.5, {0, 1, 2});
+  Hypergraph h = b.build();
+  std::vector<int> parts{0, 1, 2};
+  EXPECT_DOUBLE_EQ(connectivity_minus_one(h, parts, 3), 5.0);  // 2.5 * (3-1)
+}
+
+TEST(Metrics, IncidentNetWeightsIncludeSharedAndFolded) {
+  HypergraphBuilder b;
+  VertexId v0 = b.add_vertex(1.0, /*folded=*/3.0);
+  VertexId v1 = b.add_vertex(1.0);
+  b.add_net(10.0, {v0, v1});
+  Hypergraph h = b.build();
+  std::vector<int> parts{0, 1};
+  auto inw = incident_net_weights(h, parts, 2);
+  EXPECT_DOUBLE_EQ(inw[0], 13.0);  // net counts fully in both parts + folded
+  EXPECT_DOUBLE_EQ(inw[1], 10.0);
+}
+
+TEST(Partitioner, KwayProducesValidBalancedParts) {
+  Rng rng(3);
+  HypergraphBuilder b;
+  const int nv = 120;
+  for (int i = 0; i < nv; ++i) b.add_vertex(1.0 + rng.uniform_double());
+  for (int n = 0; n < 200; ++n) {
+    std::vector<VertexId> pins;
+    std::size_t sz = 2 + rng.uniform(5);
+    for (std::size_t p = 0; p < sz; ++p)
+      pins.push_back(static_cast<VertexId>(rng.uniform(nv)));
+    b.add_net(1.0 + rng.uniform_double(), std::move(pins));
+  }
+  Hypergraph h = b.build();
+  for (int k : {2, 3, 4, 8}) {
+    PartitionerOptions opts;
+    opts.seed = 17;
+    auto parts = partition_kway(h, k, opts);
+    ASSERT_EQ(parts.size(), h.num_vertices());
+    std::set<int> used(parts.begin(), parts.end());
+    for (int p : parts) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, k);
+    }
+    EXPECT_EQ(used.size(), static_cast<std::size_t>(k)) << "k=" << k;
+    EXPECT_LT(imbalance(h, parts, k), 0.35) << "k=" << k;
+  }
+}
+
+TEST(Partitioner, KwayOneIsTrivial) {
+  Hypergraph h = figure2();
+  auto parts = partition_kway(h, 1, {});
+  for (int p : parts) EXPECT_EQ(p, 0);
+}
+
+TEST(Partitioner, FindsObviousClusterStructure) {
+  // Two cliques of heavily-shared nets joined by one light net: a 2-way
+  // partition must cut only the light net.
+  HypergraphBuilder b;
+  for (int i = 0; i < 20; ++i) b.add_vertex(1.0);
+  Rng rng(5);
+  for (int n = 0; n < 30; ++n) {
+    std::vector<VertexId> pins;
+    int base = n % 2 == 0 ? 0 : 10;
+    for (int p = 0; p < 4; ++p)
+      pins.push_back(static_cast<VertexId>(base + rng.uniform(10)));
+    b.add_net(10.0, std::move(pins));
+  }
+  b.add_net(0.5, {3, 14});
+  Hypergraph h = b.build();
+  PartitionerOptions opts;
+  opts.seed = 23;
+  auto parts = partition_kway(h, 2, opts);
+  // All of 0..9 on one side, 10..19 on the other.
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(parts[i], parts[0]);
+  for (int i = 11; i < 20; ++i) EXPECT_EQ(parts[i], parts[10]);
+  EXPECT_NE(parts[0], parts[10]);
+  EXPECT_DOUBLE_EQ(cut_net_weight(h, parts, 2), 0.5);
+}
+
+TEST(Partitioner, DeterministicForSeed) {
+  Hypergraph h = figure2();
+  PartitionerOptions opts;
+  opts.seed = 7;
+  auto a = partition_kway(h, 2, opts);
+  auto b = partition_kway(h, 2, opts);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Binw, EveryPartRespectsBound) {
+  Rng rng(11);
+  HypergraphBuilder b;
+  const int nv = 80;
+  for (int i = 0; i < nv; ++i) b.add_vertex(1.0);
+  for (int n = 0; n < 150; ++n) {
+    std::vector<VertexId> pins;
+    std::size_t sz = 2 + rng.uniform(4);
+    for (std::size_t p = 0; p < sz; ++p)
+      pins.push_back(static_cast<VertexId>(rng.uniform(nv)));
+    b.add_net(1.0 + 4.0 * rng.uniform_double(), std::move(pins));
+  }
+  Hypergraph h = b.build();
+  const double total = h.total_net_weight() + h.total_folded_weight();
+  for (double frac : {0.3, 0.5, 0.8}) {
+    const double bound = total * frac;
+    PartitionerOptions opts;
+    opts.seed = 29;
+    BinwResult r = partition_binw(h, bound, opts);
+    ASSERT_GT(r.num_parts, 0);
+    auto inw = incident_net_weights(h, r.parts, r.num_parts);
+    for (int p = 0; p < r.num_parts; ++p)
+      EXPECT_LE(inw[p], bound + 1e-9) << "part " << p << " frac " << frac;
+  }
+}
+
+TEST(Binw, SinglePartWhenEverythingFits) {
+  Hypergraph h = figure2();
+  const double total = h.total_net_weight() + h.total_folded_weight();
+  BinwResult r = partition_binw(h, total * 1.01, {});
+  EXPECT_EQ(r.num_parts, 1);
+}
+
+TEST(Binw, TighterBoundMeansMoreParts) {
+  Rng rng(13);
+  HypergraphBuilder b;
+  for (int i = 0; i < 60; ++i) b.add_vertex(1.0);
+  for (int n = 0; n < 100; ++n) {
+    std::vector<VertexId> pins;
+    for (int p = 0; p < 3; ++p)
+      pins.push_back(static_cast<VertexId>(rng.uniform(60)));
+    b.add_net(1.0, std::move(pins));
+  }
+  Hypergraph h = b.build();
+  const double total = h.total_net_weight() + h.total_folded_weight();
+  BinwResult loose = partition_binw(h, total * 0.9, {});
+  BinwResult tight = partition_binw(h, total * 0.3, {});
+  EXPECT_GE(tight.num_parts, loose.num_parts);
+  EXPECT_GE(tight.num_parts, 2);
+}
+
+class KwaySweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+// Property sweep: for random hypergraphs across sizes and k, the K-way
+// partition is complete, within bounds, and never worse than the worst-case
+// (every net fully cut) connectivity cost.
+TEST_P(KwaySweep, InvariantsHold) {
+  auto [nv, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(nv) * 131 + static_cast<std::uint64_t>(k));
+  HypergraphBuilder b;
+  for (int i = 0; i < nv; ++i) b.add_vertex(0.5 + rng.uniform_double());
+  for (int n = 0; n < 2 * nv; ++n) {
+    std::vector<VertexId> pins;
+    std::size_t sz = 2 + rng.uniform(6);
+    for (std::size_t p = 0; p < sz; ++p)
+      pins.push_back(static_cast<VertexId>(rng.uniform(nv)));
+    b.add_net(rng.uniform_double() * 3.0, std::move(pins));
+  }
+  Hypergraph h = b.build();
+  PartitionerOptions opts;
+  opts.seed = 31;
+  auto parts = partition_kway(h, k, opts);
+  ASSERT_EQ(parts.size(), h.num_vertices());
+  for (int p : parts) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, k);
+  }
+  double cost = connectivity_minus_one(h, parts, k);
+  double worst = h.total_net_weight() * (k - 1);
+  EXPECT_GE(cost, 0.0);
+  EXPECT_LE(cost, worst + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KwaySweep,
+                         ::testing::Combine(::testing::Values(16, 50, 150,
+                                                              400),
+                                            ::testing::Values(2, 3, 5, 8)));
+
+}  // namespace
+}  // namespace bsio::hg

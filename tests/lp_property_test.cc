@@ -1,0 +1,155 @@
+// Property tests of the dual simplex beyond the hand-checked examples in
+// lp_test.cc: optimality against random feasible points, invariance under
+// redundant rows and objective scaling, and warm-restart consistency.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace bsio::lp {
+namespace {
+
+// Random box-constrained LP with <= rows whose RHS guarantees x = lo is
+// feasible (coefs >= 0, rhs >= a^T lo).
+Model random_feasible_lp(int n, int rows, std::uint64_t seed) {
+  bsio::Rng rng(seed);
+  Model m;
+  for (int v = 0; v < n; ++v)
+    m.add_var(rng.uniform_double(-3.0, 3.0), 0.0,
+              rng.uniform_double(0.5, 2.0));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<RowEntry> row;
+    for (int v = 0; v < n; ++v)
+      if (rng.bernoulli(0.5)) row.push_back({v, rng.uniform_double(0.1, 2.0)});
+    if (row.empty()) row.push_back({0, 1.0});
+    double cap = 0.0;
+    for (auto& e : row) cap += e.coef * m.upper(e.var);
+    m.add_row(Sense::kLe, rng.uniform_double(0.2, 0.9) * cap, std::move(row));
+  }
+  return m;
+}
+
+// Draw a random feasible point by scaling back from a random box point.
+std::vector<double> random_feasible_point(const Model& m, bsio::Rng& rng) {
+  std::vector<double> x(m.num_vars());
+  for (int v = 0; v < m.num_vars(); ++v)
+    x[v] = m.lower(v) +
+           rng.uniform_double() * (m.upper(v) - m.lower(v));
+  // Shrink toward the all-lower point (feasible by construction) until the
+  // rows hold.
+  for (int tries = 0; tries < 60 && !m.is_feasible(x); ++tries)
+    for (auto& xi : x) xi *= 0.8;
+  return x;
+}
+
+class LpOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpOptimality, BeatsRandomFeasiblePoints) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Model m = random_feasible_lp(20, 12, seed);
+  DualSimplex s(m);
+  auto r = s.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal) << "seed " << seed;
+  auto xstar = s.values();
+  ASSERT_TRUE(m.is_feasible(xstar, 1e-6));
+  EXPECT_NEAR(r.objective, m.objective_value(xstar), 1e-6);
+
+  bsio::Rng rng(seed * 7 + 1);
+  for (int i = 0; i < 25; ++i) {
+    auto x = random_feasible_point(m, rng);
+    if (!m.is_feasible(x)) continue;
+    EXPECT_LE(r.objective, m.objective_value(x) + 1e-7)
+        << "seed " << seed << " point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpOptimality, ::testing::Range(1, 16));
+
+TEST(LpProperties, RedundantRowDoesNotChangeOptimum) {
+  Model m = random_feasible_lp(15, 8, 42);
+  DualSimplex s1(m);
+  auto r1 = s1.solve();
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+
+  // Add a row implied by the bounds: sum x_v <= sum upper.
+  std::vector<RowEntry> row;
+  double cap = 0.0;
+  for (int v = 0; v < m.num_vars(); ++v) {
+    row.push_back({v, 1.0});
+    cap += m.upper(v);
+  }
+  m.add_row(Sense::kLe, cap + 1.0, std::move(row));
+  DualSimplex s2(m);
+  auto r2 = s2.solve();
+  ASSERT_EQ(r2.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r2.objective, 1e-7);
+}
+
+TEST(LpProperties, ObjectiveScalingScalesOptimum) {
+  Model m = random_feasible_lp(12, 6, 77);
+  Model scaled;
+  for (int v = 0; v < m.num_vars(); ++v)
+    scaled.add_var(3.0 * m.cost(v), m.lower(v), m.upper(v));
+  for (int r = 0; r < m.num_rows(); ++r)
+    scaled.add_row(m.sense(r), m.rhs(r), m.row(r));
+  DualSimplex s1(m), s2(scaled);
+  auto r1 = s1.solve();
+  auto r2 = s2.solve();
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  ASSERT_EQ(r2.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r2.objective, 3.0 * r1.objective, 1e-6);
+}
+
+TEST(LpProperties, TightenRelaxRoundTrip) {
+  Model m = random_feasible_lp(10, 6, 99);
+  DualSimplex s(m);
+  auto base = s.solve();
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  bsio::Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    int v = static_cast<int>(rng.uniform(m.num_vars()));
+    double mid = 0.5 * (m.lower(v) + m.upper(v));
+    s.set_bounds(v, m.lower(v), mid);
+    auto tightened = s.solve();
+    // Tightening can only worsen (raise) a minimisation optimum.
+    if (tightened.status == SolveStatus::kOptimal) {
+      EXPECT_GE(tightened.objective, base.objective - 1e-7);
+    }
+    s.set_bounds(v, m.lower(v), m.upper(v));
+    auto restored = s.solve();
+    ASSERT_EQ(restored.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(restored.objective, base.objective, 1e-6) << "iter " << i;
+  }
+}
+
+TEST(LpProperties, TimeLimitReturnsIterLimitNotGarbage) {
+  Model m = random_feasible_lp(60, 40, 3);
+  SimplexOptions opts;
+  opts.time_limit_seconds = 1e-9;  // expire immediately
+  DualSimplex s(m, opts);
+  auto r = s.solve();
+  // Either it finished in the first few pivots or it reports the limit.
+  EXPECT_TRUE(r.status == SolveStatus::kOptimal ||
+              r.status == SolveStatus::kIterLimit);
+}
+
+TEST(LpProperties, EqualityRowsSatisfiedExactly) {
+  bsio::Rng rng(8);
+  Model m;
+  for (int v = 0; v < 8; ++v) m.add_var(rng.uniform_double(-2, 2), 0.0, 4.0);
+  m.add_row(Sense::kEq, 6.0, {{0, 1.0}, {1, 1.0}, {2, 1.0}});
+  m.add_row(Sense::kEq, 5.0, {{3, 1.0}, {4, 2.0}});
+  DualSimplex s(m);
+  auto r = s.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  auto x = s.values();
+  EXPECT_NEAR(x[0] + x[1] + x[2], 6.0, 1e-7);
+  EXPECT_NEAR(x[3] + 2.0 * x[4], 5.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace bsio::lp

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/image.h"
+#include "workload/io.h"
+#include "workload/synthetic.h"
+
+namespace bsio::wl {
+namespace {
+
+TEST(WorkloadIo, RoundTripPreservesEverything) {
+  SyntheticConfig cfg;
+  cfg.num_tasks = 25;
+  cfg.files_per_task = 4;
+  cfg.overlap = 0.6;
+  cfg.file_size_jitter = 0.3;
+  cfg.seed = 21;
+  Workload a = make_synthetic(cfg);
+
+  std::stringstream ss;
+  save_workload(a, ss);
+  Workload b = load_workload(ss);
+
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_files(), b.num_files());
+  for (FileId f = 0; f < a.num_files(); ++f) {
+    EXPECT_DOUBLE_EQ(a.file(f).size_bytes, b.file(f).size_bytes);
+    EXPECT_EQ(a.file(f).home_storage_node, b.file(f).home_storage_node);
+  }
+  for (TaskId t = 0; t < a.num_tasks(); ++t) {
+    EXPECT_DOUBLE_EQ(a.task(t).compute_seconds, b.task(t).compute_seconds);
+    EXPECT_EQ(a.task(t).files, b.task(t).files);
+  }
+}
+
+TEST(WorkloadIo, RoundTripRealEmulatorWorkload) {
+  ImageConfig cfg;
+  cfg.num_tasks = 40;
+  Workload a = make_image(cfg, 0.3);
+  std::stringstream ss;
+  save_workload(a, ss);
+  Workload b = load_workload(ss);
+  EXPECT_EQ(a.num_tasks(), b.num_tasks());
+  EXPECT_DOUBLE_EQ(a.unique_request_bytes(), b.unique_request_bytes());
+  EXPECT_DOUBLE_EQ(a.total_request_bytes(), b.total_request_bytes());
+}
+
+TEST(WorkloadIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss;
+  ss << "# a comment\n\nbsio-workload 1\n# another\nfiles 1\n"
+     << "1024 0\n\ntasks 1\n2.5 1 0\n";
+  Workload w = load_workload(ss);
+  EXPECT_EQ(w.num_files(), 1u);
+  EXPECT_EQ(w.num_tasks(), 1u);
+  EXPECT_DOUBLE_EQ(w.task(0).compute_seconds, 2.5);
+  EXPECT_EQ(w.task(0).files, (std::vector<FileId>{0}));
+}
+
+TEST(WorkloadIoDeath, RejectsWrongMagic) {
+  std::stringstream ss;
+  ss << "not-a-workload 1\n";
+  EXPECT_DEATH(load_workload(ss), "bsio-workload");
+}
+
+TEST(WorkloadIoDeath, RejectsTruncatedTaskTable) {
+  std::stringstream ss;
+  ss << "bsio-workload 1\nfiles 1\n1024 0\ntasks 2\n1.0 1 0\n";
+  EXPECT_DEATH(load_workload(ss), "truncated");
+}
+
+}  // namespace
+}  // namespace bsio::wl
