@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_image.dir/fig3_image.cc.o"
+  "CMakeFiles/fig3_image.dir/fig3_image.cc.o.d"
+  "fig3_image"
+  "fig3_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

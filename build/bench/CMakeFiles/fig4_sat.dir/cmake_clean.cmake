@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sat.dir/fig4_sat.cc.o"
+  "CMakeFiles/fig4_sat.dir/fig4_sat.cc.o.d"
+  "fig4_sat"
+  "fig4_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_replication.dir/fig5a_replication.cc.o"
+  "CMakeFiles/fig5a_replication.dir/fig5a_replication.cc.o.d"
+  "fig5a_replication"
+  "fig5a_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

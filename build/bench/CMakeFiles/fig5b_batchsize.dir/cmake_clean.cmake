@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_batchsize.dir/fig5b_batchsize.cc.o"
+  "CMakeFiles/fig5b_batchsize.dir/fig5b_batchsize.cc.o.d"
+  "fig5b_batchsize"
+  "fig5b_batchsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_batchsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/biomedical_imaging.cpp" "examples/CMakeFiles/biomedical_imaging.dir/biomedical_imaging.cpp.o" "gcc" "examples/CMakeFiles/biomedical_imaging.dir/biomedical_imaging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bsio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/bsio_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/bsio_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/bsio_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/bsio_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bsio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/biomedical_imaging.dir/biomedical_imaging.cpp.o"
+  "CMakeFiles/biomedical_imaging.dir/biomedical_imaging.cpp.o.d"
+  "biomedical_imaging"
+  "biomedical_imaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/biomedical_imaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

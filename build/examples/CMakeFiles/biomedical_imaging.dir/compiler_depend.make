@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for biomedical_imaging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_analysis.dir/satellite_analysis.cpp.o"
+  "CMakeFiles/satellite_analysis.dir/satellite_analysis.cpp.o.d"
+  "satellite_analysis"
+  "satellite_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_gantt.dir/trace_gantt.cpp.o"
+  "CMakeFiles/trace_gantt.dir/trace_gantt.cpp.o.d"
+  "trace_gantt"
+  "trace_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_core.dir/batch_scheduler.cc.o"
+  "CMakeFiles/bsio_core.dir/batch_scheduler.cc.o.d"
+  "CMakeFiles/bsio_core.dir/experiment.cc.o"
+  "CMakeFiles/bsio_core.dir/experiment.cc.o.d"
+  "libbsio_core.a"
+  "libbsio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

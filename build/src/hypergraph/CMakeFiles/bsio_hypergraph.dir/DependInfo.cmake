@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypergraph/binw.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/binw.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/binw.cc.o.d"
+  "/root/repo/src/hypergraph/bisect.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/bisect.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/bisect.cc.o.d"
+  "/root/repo/src/hypergraph/coarsen.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/coarsen.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/coarsen.cc.o.d"
+  "/root/repo/src/hypergraph/fm.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/fm.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/fm.cc.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/hypergraph.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/hypergraph.cc.o.d"
+  "/root/repo/src/hypergraph/initial.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/initial.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/initial.cc.o.d"
+  "/root/repo/src/hypergraph/metrics.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/metrics.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/metrics.cc.o.d"
+  "/root/repo/src/hypergraph/recursive.cc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/recursive.cc.o" "gcc" "src/hypergraph/CMakeFiles/bsio_hypergraph.dir/recursive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bsio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_hypergraph.dir/binw.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/binw.cc.o.d"
+  "CMakeFiles/bsio_hypergraph.dir/bisect.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/bisect.cc.o.d"
+  "CMakeFiles/bsio_hypergraph.dir/coarsen.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/coarsen.cc.o.d"
+  "CMakeFiles/bsio_hypergraph.dir/fm.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/fm.cc.o.d"
+  "CMakeFiles/bsio_hypergraph.dir/hypergraph.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/hypergraph.cc.o.d"
+  "CMakeFiles/bsio_hypergraph.dir/initial.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/initial.cc.o.d"
+  "CMakeFiles/bsio_hypergraph.dir/metrics.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/metrics.cc.o.d"
+  "CMakeFiles/bsio_hypergraph.dir/recursive.cc.o"
+  "CMakeFiles/bsio_hypergraph.dir/recursive.cc.o.d"
+  "libbsio_hypergraph.a"
+  "libbsio_hypergraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_hypergraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

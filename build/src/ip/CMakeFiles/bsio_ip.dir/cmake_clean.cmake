@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_ip.dir/branch_and_bound.cc.o"
+  "CMakeFiles/bsio_ip.dir/branch_and_bound.cc.o.d"
+  "libbsio_ip.a"
+  "libbsio_ip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_lp.dir/model.cc.o"
+  "CMakeFiles/bsio_lp.dir/model.cc.o.d"
+  "CMakeFiles/bsio_lp.dir/simplex.cc.o"
+  "CMakeFiles/bsio_lp.dir/simplex.cc.o.d"
+  "libbsio_lp.a"
+  "libbsio_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

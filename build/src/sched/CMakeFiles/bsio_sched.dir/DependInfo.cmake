@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/alternatives.cc" "src/sched/CMakeFiles/bsio_sched.dir/alternatives.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/alternatives.cc.o.d"
+  "/root/repo/src/sched/bipartition.cc" "src/sched/CMakeFiles/bsio_sched.dir/bipartition.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/bipartition.cc.o.d"
+  "/root/repo/src/sched/cost_model.cc" "src/sched/CMakeFiles/bsio_sched.dir/cost_model.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/cost_model.cc.o.d"
+  "/root/repo/src/sched/driver.cc" "src/sched/CMakeFiles/bsio_sched.dir/driver.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/driver.cc.o.d"
+  "/root/repo/src/sched/ip_formulation.cc" "src/sched/CMakeFiles/bsio_sched.dir/ip_formulation.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/ip_formulation.cc.o.d"
+  "/root/repo/src/sched/ip_scheduler.cc" "src/sched/CMakeFiles/bsio_sched.dir/ip_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/ip_scheduler.cc.o.d"
+  "/root/repo/src/sched/job_data_present.cc" "src/sched/CMakeFiles/bsio_sched.dir/job_data_present.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/job_data_present.cc.o.d"
+  "/root/repo/src/sched/minmin.cc" "src/sched/CMakeFiles/bsio_sched.dir/minmin.cc.o" "gcc" "src/sched/CMakeFiles/bsio_sched.dir/minmin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bsio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypergraph/CMakeFiles/bsio_hypergraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ip/CMakeFiles/bsio_ip.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bsio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/bsio_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_sched.dir/alternatives.cc.o"
+  "CMakeFiles/bsio_sched.dir/alternatives.cc.o.d"
+  "CMakeFiles/bsio_sched.dir/bipartition.cc.o"
+  "CMakeFiles/bsio_sched.dir/bipartition.cc.o.d"
+  "CMakeFiles/bsio_sched.dir/cost_model.cc.o"
+  "CMakeFiles/bsio_sched.dir/cost_model.cc.o.d"
+  "CMakeFiles/bsio_sched.dir/driver.cc.o"
+  "CMakeFiles/bsio_sched.dir/driver.cc.o.d"
+  "CMakeFiles/bsio_sched.dir/ip_formulation.cc.o"
+  "CMakeFiles/bsio_sched.dir/ip_formulation.cc.o.d"
+  "CMakeFiles/bsio_sched.dir/ip_scheduler.cc.o"
+  "CMakeFiles/bsio_sched.dir/ip_scheduler.cc.o.d"
+  "CMakeFiles/bsio_sched.dir/job_data_present.cc.o"
+  "CMakeFiles/bsio_sched.dir/job_data_present.cc.o.d"
+  "CMakeFiles/bsio_sched.dir/minmin.cc.o"
+  "CMakeFiles/bsio_sched.dir/minmin.cc.o.d"
+  "libbsio_sched.a"
+  "libbsio_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

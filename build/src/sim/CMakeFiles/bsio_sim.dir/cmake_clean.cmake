@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_sim.dir/cluster.cc.o"
+  "CMakeFiles/bsio_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/bsio_sim.dir/engine.cc.o"
+  "CMakeFiles/bsio_sim.dir/engine.cc.o.d"
+  "CMakeFiles/bsio_sim.dir/state.cc.o"
+  "CMakeFiles/bsio_sim.dir/state.cc.o.d"
+  "CMakeFiles/bsio_sim.dir/timeline.cc.o"
+  "CMakeFiles/bsio_sim.dir/timeline.cc.o.d"
+  "libbsio_sim.a"
+  "libbsio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

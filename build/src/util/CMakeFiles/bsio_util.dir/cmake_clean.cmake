@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_util.dir/hilbert.cc.o"
+  "CMakeFiles/bsio_util.dir/hilbert.cc.o.d"
+  "CMakeFiles/bsio_util.dir/logging.cc.o"
+  "CMakeFiles/bsio_util.dir/logging.cc.o.d"
+  "CMakeFiles/bsio_util.dir/stats.cc.o"
+  "CMakeFiles/bsio_util.dir/stats.cc.o.d"
+  "CMakeFiles/bsio_util.dir/table.cc.o"
+  "CMakeFiles/bsio_util.dir/table.cc.o.d"
+  "libbsio_util.a"
+  "libbsio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

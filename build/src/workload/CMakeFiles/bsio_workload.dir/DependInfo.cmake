@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/calibrate.cc" "src/workload/CMakeFiles/bsio_workload.dir/calibrate.cc.o" "gcc" "src/workload/CMakeFiles/bsio_workload.dir/calibrate.cc.o.d"
+  "/root/repo/src/workload/image.cc" "src/workload/CMakeFiles/bsio_workload.dir/image.cc.o" "gcc" "src/workload/CMakeFiles/bsio_workload.dir/image.cc.o.d"
+  "/root/repo/src/workload/io.cc" "src/workload/CMakeFiles/bsio_workload.dir/io.cc.o" "gcc" "src/workload/CMakeFiles/bsio_workload.dir/io.cc.o.d"
+  "/root/repo/src/workload/sat.cc" "src/workload/CMakeFiles/bsio_workload.dir/sat.cc.o" "gcc" "src/workload/CMakeFiles/bsio_workload.dir/sat.cc.o.d"
+  "/root/repo/src/workload/stats.cc" "src/workload/CMakeFiles/bsio_workload.dir/stats.cc.o" "gcc" "src/workload/CMakeFiles/bsio_workload.dir/stats.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/bsio_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/bsio_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/types.cc" "src/workload/CMakeFiles/bsio_workload.dir/types.cc.o" "gcc" "src/workload/CMakeFiles/bsio_workload.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bsio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsio_workload.dir/calibrate.cc.o"
+  "CMakeFiles/bsio_workload.dir/calibrate.cc.o.d"
+  "CMakeFiles/bsio_workload.dir/image.cc.o"
+  "CMakeFiles/bsio_workload.dir/image.cc.o.d"
+  "CMakeFiles/bsio_workload.dir/io.cc.o"
+  "CMakeFiles/bsio_workload.dir/io.cc.o.d"
+  "CMakeFiles/bsio_workload.dir/sat.cc.o"
+  "CMakeFiles/bsio_workload.dir/sat.cc.o.d"
+  "CMakeFiles/bsio_workload.dir/stats.cc.o"
+  "CMakeFiles/bsio_workload.dir/stats.cc.o.d"
+  "CMakeFiles/bsio_workload.dir/synthetic.cc.o"
+  "CMakeFiles/bsio_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/bsio_workload.dir/types.cc.o"
+  "CMakeFiles/bsio_workload.dir/types.cc.o.d"
+  "libbsio_workload.a"
+  "libbsio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypergraph_multilevel_test.dir/hypergraph_multilevel_test.cc.o"
+  "CMakeFiles/hypergraph_multilevel_test.dir/hypergraph_multilevel_test.cc.o.d"
+  "hypergraph_multilevel_test"
+  "hypergraph_multilevel_test.pdb"
+  "hypergraph_multilevel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypergraph_multilevel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_formulation_test.dir/ip_formulation_test.cc.o"
+  "CMakeFiles/ip_formulation_test.dir/ip_formulation_test.cc.o.d"
+  "ip_formulation_test"
+  "ip_formulation_test.pdb"
+  "ip_formulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_formulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
