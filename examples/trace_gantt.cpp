@@ -34,7 +34,12 @@ int main(int argc, char** argv) {
   for (const auto& t : w.tasks()) pending.push_back(t.id);
   while (!pending.empty()) {
     sim::SubBatchPlan plan = scheduler.plan_sub_batch(pending, ctx);
-    engine.execute(plan);
+    auto executed = engine.execute(plan);
+    if (!executed.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n",
+                   executed.error().message.c_str());
+      return 1;
+    }
     for (wl::TaskId t : plan.tasks)
       pending.erase(std::find(pending.begin(), pending.end(), t));
   }

@@ -62,7 +62,7 @@ sched::BatchRunResult run_batch_scheduler(Algorithm algorithm,
                                           const sim::ClusterConfig& cluster,
                                           const RunOptions& options) {
   auto scheduler = make_scheduler(algorithm, options);
-  return sched::run_batch(*scheduler, workload, cluster);
+  return sched::run_batch(*scheduler, workload, cluster, options.faults);
 }
 
 }  // namespace bsio::core

@@ -48,6 +48,10 @@ struct RunOptions {
   sched::IpSchedulerOptions ip = sched::IpScheduler::default_options();
   sched::BiPartitionOptions bipartition;
   sched::JdpOptions jdp;
+  // Fault injection (sim/faults.h); the default injects nothing. With
+  // faults the driver re-schedules crash-orphaned tasks on surviving nodes
+  // and BatchRunResult::error reports unrecoverable runs.
+  sim::FaultConfig faults;
 };
 
 // Instantiates the scheduler implementing `algorithm`.

@@ -17,10 +17,12 @@ struct NodeChoice {
 };
 
 NodeChoice evaluate(const wl::Workload& w, const sim::ClusterConfig& c,
-                    const PlannerState& ps, wl::TaskId task) {
+                    const PlannerState& ps, wl::TaskId task,
+                    const std::vector<wl::NodeId>& nodes) {
   NodeChoice out;
+  out.node = nodes.front();
   double best = std::numeric_limits<double>::infinity();
-  for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+  for (wl::NodeId n : nodes) {
     CompletionEstimate est = estimate_completion(w, c, ps, task, n);
     // Near-ties go to the least-loaded node (storage-dominated estimates
     // make nodes look alike; see the MinMin tie-break rationale).
@@ -52,6 +54,8 @@ sim::SubBatchPlan greedy_commit(const std::vector<wl::TaskId>& pending,
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& c = ctx.cluster;
   PlannerState ps(w, c, ctx.engine.state());
+  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  BSIO_CHECK_MSG(!nodes.empty(), "greedy_commit: no compute node is alive");
 
   sim::SubBatchPlan plan;
   std::vector<wl::TaskId> todo = pending;
@@ -60,7 +64,7 @@ sim::SubBatchPlan greedy_commit(const std::vector<wl::TaskId>& pending,
     NodeChoice best_choice;
     bool first = true;
     for (std::size_t i = 0; i < todo.size(); ++i) {
-      NodeChoice choice = evaluate(w, c, ps, todo[i]);
+      NodeChoice choice = evaluate(w, c, ps, todo[i], nodes);
       if (first || prefer(choice, best_choice)) {
         first = false;
         best_i = i;

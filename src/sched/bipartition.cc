@@ -36,17 +36,21 @@ hg::Hypergraph build_hypergraph(const wl::Workload& w,
 
 std::vector<wl::NodeId> bipartition_map_tasks(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-    const sim::ClusterConfig& cluster, const BiPartitionOptions& options) {
+    const sim::ClusterConfig& cluster, const BiPartitionOptions& options,
+    const std::vector<wl::NodeId>& nodes) {
   const auto weights =
       options.probabilistic_weights
           ? probabilistic_exec_times(w, tasks, cluster)
           : plain_exec_times(w, tasks, cluster);
   hg::Hypergraph h = build_hypergraph(w, tasks, weights);
-  auto parts = hg::partition_kway(
-      h, static_cast<int>(cluster.num_compute_nodes), options.partitioner);
+  const std::size_t k =
+      nodes.empty() ? cluster.num_compute_nodes : nodes.size();
+  auto parts =
+      hg::partition_kway(h, static_cast<int>(k), options.partitioner);
   std::vector<wl::NodeId> map(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i)
-    map[i] = static_cast<wl::NodeId>(parts[i]);
+    map[i] = nodes.empty() ? static_cast<wl::NodeId>(parts[i])
+                           : nodes[parts[i]];
   return map;
 }
 
@@ -54,6 +58,8 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& cluster = ctx.cluster;
+  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  BSIO_CHECK_MSG(!nodes.empty(), "BiPartition: no compute node is alive");
 
   // --- Level 1: sub-batch selection via BINW. ---
   std::vector<wl::TaskId> sub_batch;
@@ -61,8 +67,10 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
   if (!limited) {
     sub_batch = pending;
   } else {
-    const double bound =
-        cluster.aggregate_disk_capacity() * options_.aggregate_bound_fraction;
+    // Aggregate disk space of the surviving nodes only.
+    double aggregate = 0.0;
+    for (wl::NodeId n : nodes) aggregate += cluster.node_disk_capacity(n);
+    const double bound = aggregate * options_.aggregate_bound_fraction;
     const auto weights =
         options_.probabilistic_weights
             ? probabilistic_exec_times(w, pending, cluster)
@@ -84,9 +92,9 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
                      << " sub-batches";
   }
 
-  // --- Level 2: K-way task mapping. ---
+  // --- Level 2: K-way task mapping onto the surviving nodes. ---
   std::vector<wl::NodeId> map =
-      bipartition_map_tasks(w, sub_batch, cluster, options_);
+      bipartition_map_tasks(w, sub_batch, cluster, options_, nodes);
 
   sim::SubBatchPlan plan;
   plan.tasks = sub_batch;
@@ -157,8 +165,8 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
         smallest = t;
       }
     }
-    wl::NodeId node = 0;
-    for (wl::NodeId n = 1; n < cluster.num_compute_nodes; ++n)
+    wl::NodeId node = nodes.front();
+    for (wl::NodeId n : nodes)
       if (ctx.engine.state().free_bytes(n) >
           ctx.engine.state().free_bytes(node))
         node = n;

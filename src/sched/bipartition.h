@@ -42,8 +42,11 @@ class BiPartitionScheduler : public Scheduler {
 
 // Exposed for tests and for the IP scheduler's warm start: the level-2
 // mapping of `tasks` onto the compute nodes (indices into `tasks` -> node).
+// `nodes` restricts the mapping to a subset of the compute nodes (the alive
+// ones under fault injection); empty means all of them.
 std::vector<wl::NodeId> bipartition_map_tasks(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-    const sim::ClusterConfig& cluster, const BiPartitionOptions& options);
+    const sim::ClusterConfig& cluster, const BiPartitionOptions& options,
+    const std::vector<wl::NodeId>& nodes = {});
 
 }  // namespace bsio::sched

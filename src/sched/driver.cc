@@ -10,12 +10,25 @@
 namespace bsio::sched {
 
 BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
-                         const sim::ClusterConfig& cluster) {
+                         const sim::ClusterConfig& cluster,
+                         const sim::FaultConfig& faults) {
   BatchRunResult result;
   result.scheduler = scheduler.name();
 
-  sim::ExecutionEngine engine(cluster, workload,
-                              {scheduler.eviction_policy()});
+  if (const Status v = cluster.validate(); !v.ok()) {
+    result.error = v.error().message;
+    result.tasks_stranded = workload.num_tasks();
+    return result;
+  }
+  if (const Status v = faults.validate(cluster); !v.ok()) {
+    result.error = v.error().message;
+    result.tasks_stranded = workload.num_tasks();
+    return result;
+  }
+
+  sim::ExecutionEngine engine(
+      cluster, workload,
+      {scheduler.eviction_policy(), /*trace=*/false, faults});
   SchedulerContext ctx{workload, cluster, engine};
 
   std::vector<wl::TaskId> pending;
@@ -23,6 +36,12 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
   for (const auto& t : workload.tasks()) pending.push_back(t.id);
 
   while (!pending.empty()) {
+    if (engine.alive_count() == 0) {
+      result.error = "every compute node crashed with tasks still pending";
+      result.tasks_stranded = pending.size();
+      break;
+    }
+
     WallTimer timer;
     sim::SubBatchPlan plan = scheduler.plan_sub_batch(pending, ctx);
     result.scheduling_seconds += timer.elapsed_seconds();
@@ -37,10 +56,26 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                          pending.end(),
                      "sub-batch plan names a non-pending task");
 
-    engine.execute(plan);
+    auto executed = engine.execute(plan);
+    if (!executed.ok()) {
+      result.error = executed.error().message;
+      result.tasks_stranded = pending.size();
+      break;
+    }
     ++result.sub_batches;
     std::erase_if(pending,
                   [&](wl::TaskId t) { return planned.count(t) > 0; });
+
+    // Recovery loop: tasks orphaned by node crashes (killed mid-run or
+    // queued on a node that died) go back to pending and are re-planned on
+    // the surviving nodes next round.
+    std::vector<wl::TaskId> orphaned = engine.take_orphaned();
+    if (!orphaned.empty()) {
+      BSIO_LOG(kDebug) << scheduler.name() << ": re-scheduling "
+                       << orphaned.size() << " tasks orphaned by crashes ("
+                       << engine.alive_count() << " nodes alive)";
+      pending.insert(pending.end(), orphaned.begin(), orphaned.end());
+    }
     BSIO_LOG(kDebug) << scheduler.name() << ": sub-batch " << result.sub_batches
                      << " executed " << plan.tasks.size() << " tasks, "
                      << pending.size() << " pending, makespan "

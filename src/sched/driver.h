@@ -2,6 +2,12 @@
 // allocation -> runtime ordering/staging), with the runtime stage executed
 // by the simulation engine. Also measures the scheduling overhead reported
 // in Fig 6(b).
+//
+// With fault injection enabled the driver additionally runs the recovery
+// loop: tasks orphaned by compute-node crashes return to the pending set
+// and are re-planned on the surviving nodes in the next round. The batch
+// only fails (BatchRunResult::error) when every compute node has crashed
+// with tasks still pending, or when the configuration itself is invalid.
 #pragma once
 
 #include <string>
@@ -9,6 +15,7 @@
 #include "sched/scheduler.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "workload/types.h"
 
 namespace bsio::sched {
@@ -20,9 +27,16 @@ struct BatchRunResult {
   double per_task_scheduling_ms = 0.0;
   std::size_t sub_batches = 0;
   sim::ExecutionStats stats;
+  // Non-empty when the batch could not finish (invalid configuration, every
+  // compute node crashed, or the engine rejected a plan). `ok()` runs
+  // executed every task.
+  std::string error;
+  std::size_t tasks_stranded = 0;  // pending tasks when the run gave up
+  bool ok() const { return error.empty(); }
 };
 
 BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
-                         const sim::ClusterConfig& cluster);
+                         const sim::ClusterConfig& cluster,
+                         const sim::FaultConfig& faults = {});
 
 }  // namespace bsio::sched

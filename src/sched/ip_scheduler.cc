@@ -28,8 +28,38 @@ IpScheduler::IpScheduler(IpSchedulerOptions options)
 sim::SubBatchPlan IpScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
   const wl::Workload& w = ctx.batch;
-  const sim::ClusterConfig& cluster = ctx.cluster;
   last_ = SolveInfo{};
+
+  // The IP models index compute nodes densely 0..C-1. Under fault injection
+  // some nodes are dead, so the models are built over a compact cluster of
+  // the survivors and the resulting plan is remapped back to real node ids.
+  // With every node alive the compact cluster IS the real cluster and the
+  // remap is the identity.
+  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  BSIO_CHECK_MSG(!nodes.empty(), "IP: no compute node is alive");
+  const bool degraded = nodes.size() < ctx.cluster.num_compute_nodes;
+  sim::ClusterConfig cluster = ctx.cluster;
+  if (degraded) {
+    cluster.num_compute_nodes = nodes.size();
+    if (!ctx.cluster.disk_capacity_per_node.empty()) {
+      cluster.disk_capacity_per_node.clear();
+      for (wl::NodeId n : nodes)
+        cluster.disk_capacity_per_node.push_back(
+            ctx.cluster.node_disk_capacity(n));
+    }
+  }
+  // FileGroup::present_on carries real node ids (crashed nodes lost their
+  // caches, so only survivors appear); translate them to compact ids.
+  auto compact_groups = [&](std::vector<FileGroup> groups) {
+    if (!degraded) return groups;
+    std::vector<wl::NodeId> to_compact(ctx.cluster.num_compute_nodes,
+                                       wl::kInvalidNode);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      to_compact[nodes[i]] = static_cast<wl::NodeId>(i);
+    for (FileGroup& g : groups)
+      for (wl::NodeId& n : g.present_on) n = to_compact[n];
+    return groups;
+  };
 
   // Engineering cap: slice oversized batches, keeping file-sharing
   // neighbours together (sort by first input file).
@@ -53,9 +83,10 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
   if (cluster.unlimited_disk()) {
     sub_batch = capped;
   } else {
-    SelectionModel sel(w, capped, coalesce_files(w, capped,
-                                                  ctx.engine.state()),
-                       cluster, options_.formulation);
+    SelectionModel sel(
+        w, capped,
+        compact_groups(coalesce_files(w, capped, ctx.engine.state())),
+        cluster, options_.formulation);
     ip::MipSolver solver(sel.model(), sel.integer_vars());
     auto seed = sel.greedy_incumbent();
     if (!seed.empty()) solver.set_incumbent(seed);
@@ -86,9 +117,10 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
   }
 
   // ---- Stage 2: allocation + data placement. ----
-  AllocationModel alloc(w, sub_batch,
-                        coalesce_files(w, sub_batch, ctx.engine.state()),
-                        cluster, options_.formulation);
+  AllocationModel alloc(
+      w, sub_batch,
+      compact_groups(coalesce_files(w, sub_batch, ctx.engine.state())),
+      cluster, options_.formulation);
   ip::MipSolver solver(alloc.model(), alloc.integer_vars());
 
   // Warm start from the BiPartition level-2 mapping (star staging).
@@ -106,18 +138,38 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
   last_.allocation_seconds = r.solve_seconds;
   last_.allocation_status = r.status;
 
-  std::vector<double> solution;
+  sim::SubBatchPlan plan;
   if (r.status == ip::MipStatus::kOptimal ||
       r.status == ip::MipStatus::kFeasible) {
-    solution = r.x;
     last_.surrogate_objective = alloc.makespan_surrogate(r.x);
-  } else {
-    BSIO_CHECK_MSG(seeded,
-                   "IP allocation failed and no warm start was available");
-    solution = incumbent;
+    plan = alloc.extract_plan(r.x);
+  } else if (seeded) {
+    plan = alloc.extract_plan(incumbent);
     last_.surrogate_objective = alloc.makespan_surrogate(incumbent);
+  } else {
+    // Node/time-limited solve found nothing and the heuristic incumbent was
+    // disk-infeasible for the static model. Fall back to the warm mapping
+    // as a bare assignment (no staging directives): the engine's dynamic
+    // staging and on-demand eviction handle disk constraints at runtime, so
+    // the batch still progresses instead of aborting.
+    BSIO_LOG(kInfo) << "IP allocation found no solution; falling back to "
+                       "the heuristic mapping with dynamic staging";
+    plan.tasks = sub_batch;
+    for (std::size_t i = 0; i < sub_batch.size(); ++i)
+      plan.assignment[sub_batch[i]] = warm[i];
   }
-  return alloc.extract_plan(solution);
+  if (degraded) {
+    // Compact node ids -> real (surviving) node ids.
+    for (auto& [task, node] : plan.assignment) node = nodes[node];
+    std::map<std::pair<wl::FileId, wl::NodeId>, sim::StagingSource> staging;
+    for (const auto& [key, src] : plan.staging) {
+      sim::StagingSource s = src;
+      if (s.kind == sim::SourceKind::kReplica) s.src_node = nodes[s.src_node];
+      staging[{key.first, nodes[key.second]}] = s;
+    }
+    plan.staging = std::move(staging);
+  }
+  return plan;
 }
 
 }  // namespace bsio::sched

@@ -14,6 +14,8 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& c = ctx.cluster;
   PlannerState ps(w, c, ctx.engine.state());
+  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  BSIO_CHECK_MSG(!nodes.empty(), "JobDataPresent: no compute node is alive");
 
   sim::SubBatchPlan plan;
 
@@ -22,7 +24,7 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
     double threshold = options_.popularity_threshold;
     if (threshold <= 0.0)
       threshold = static_cast<double>(pending.size()) /
-                  static_cast<double>(c.num_compute_nodes);
+                  static_cast<double>(nodes.size());
     std::unordered_map<wl::FileId, double> popularity;
     for (wl::TaskId t : pending)
       for (wl::FileId f : w.task(t).files) popularity[f] += 1.0;
@@ -41,9 +43,9 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
       if (options_.max_prefetches > 0 &&
           plan.prefetches.size() >= options_.max_prefetches)
         break;
-      // Least loaded node not already holding the file.
+      // Least loaded alive node not already holding the file.
       wl::NodeId dst = wl::kInvalidNode;
-      for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+      for (wl::NodeId n : nodes) {
         if (ps.on_node(f, n)) continue;
         if (dst == wl::kInvalidNode || load[n] < load[dst]) dst = n;
       }
@@ -61,7 +63,7 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
   queue.reserve(pending.size());
   for (wl::TaskId t : pending) {
     double ect = std::numeric_limits<double>::infinity();
-    for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n)
+    for (wl::NodeId n : nodes)
       ect = std::min(ect, estimate_completion(w, c, ps, t, n).completion);
     queue.push_back({ect, t});
   }
@@ -73,7 +75,7 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
   // eligible node, fall back to the least-loaded node overall. ---
   for (const auto& [ect0, task] : queue) {
     wl::NodeId node = wl::kInvalidNode;
-    for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+    for (wl::NodeId n : nodes) {
       bool has_data = false;
       for (wl::FileId f : w.task(task).files)
         if (ps.on_node(f, n)) {
@@ -85,8 +87,8 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
         node = n;
     }
     if (node == wl::kInvalidNode) {
-      node = 0;
-      for (wl::NodeId n = 1; n < c.num_compute_nodes; ++n)
+      node = nodes.front();
+      for (wl::NodeId n : nodes)
         if (ps.node_ready[n] < ps.node_ready[node]) node = n;
     }
     CompletionEstimate est = estimate_completion(w, c, ps, task, node);

@@ -12,14 +12,16 @@ namespace bsio::sched {
 
 namespace {
 
-// Best (node, estimate) of a task against the current planner state.
+// Best (node, estimate) of a task against the current planner state,
+// considering only `nodes` (the alive compute nodes).
 std::pair<wl::NodeId, CompletionEstimate> best_node_for(
     const wl::Workload& w, const sim::ClusterConfig& c,
-    const PlannerState& ps, wl::TaskId task) {
-  wl::NodeId best_node = 0;
+    const PlannerState& ps, wl::TaskId task,
+    const std::vector<wl::NodeId>& nodes) {
+  wl::NodeId best_node = nodes.front();
   CompletionEstimate best_est;
   best_est.completion = std::numeric_limits<double>::infinity();
-  for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+  for (wl::NodeId n : nodes) {
     CompletionEstimate est = estimate_completion(w, c, ps, task, n);
     const bool first = std::isinf(best_est.completion);
     const double tol = first ? 0.0 : 1e-9 * (1.0 + best_est.completion);
@@ -38,7 +40,8 @@ std::pair<wl::NodeId, CompletionEstimate> best_node_for(
 // Lazy-heap MinMin for large batches.
 sim::SubBatchPlan plan_lazy(const wl::Workload& w,
                             const sim::ClusterConfig& c, PlannerState& ps,
-                            const std::vector<wl::TaskId>& pending) {
+                            const std::vector<wl::TaskId>& pending,
+                            const std::vector<wl::NodeId>& nodes) {
   sim::SubBatchPlan plan;
   struct Entry {
     double ct;
@@ -47,14 +50,14 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w,
   };
   std::priority_queue<Entry> heap;
   for (wl::TaskId t : pending)
-    heap.push({best_node_for(w, c, ps, t).second.completion, t});
+    heap.push({best_node_for(w, c, ps, t, nodes).second.completion, t});
 
   std::vector<bool> done(w.num_tasks(), false);
   while (!heap.empty()) {
     Entry e = heap.top();
     heap.pop();
     if (done[e.task]) continue;
-    auto [node, est] = best_node_for(w, c, ps, e.task);
+    auto [node, est] = best_node_for(w, c, ps, e.task, nodes);
     if (!heap.empty() &&
         est.completion > heap.top().ct + 1e-9 * (1.0 + est.completion)) {
       heap.push({est.completion, e.task});  // stale; retry later
@@ -75,9 +78,11 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& c = ctx.cluster;
   PlannerState ps(w, c, ctx.engine.state());
+  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  BSIO_CHECK_MSG(!nodes.empty(), "MinMin: no compute node is alive");
 
   if (pending.size() > exact_threshold_)
-    return plan_lazy(w, c, ps, pending);
+    return plan_lazy(w, c, ps, pending, nodes);
 
   sim::SubBatchPlan plan;
   std::vector<wl::TaskId> todo = pending;
@@ -85,10 +90,10 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
   while (!todo.empty()) {
     double best_ct = std::numeric_limits<double>::infinity();
     std::size_t best_i = 0;
-    wl::NodeId best_node = 0;
+    wl::NodeId best_node = nodes.front();
     CompletionEstimate best_est;
     for (std::size_t i = 0; i < todo.size(); ++i) {
-      for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) {
+      for (wl::NodeId n : nodes) {
         CompletionEstimate est = estimate_completion(w, c, ps, todo[i], n);
         // Near-ties (storage-dominated estimates make nodes look alike) go
         // to the least-loaded node, as in classic MinMin.

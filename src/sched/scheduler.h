@@ -20,8 +20,20 @@ namespace bsio::sched {
 struct SchedulerContext {
   const wl::Workload& batch;
   const sim::ClusterConfig& cluster;
-  // Read-only view of the engine: cache contents, pending request counts.
+  // Read-only view of the engine: cache contents, pending request counts,
+  // node liveness.
   const sim::ExecutionEngine& engine;
+
+  // Compute nodes still alive (fault injection can fail-stop nodes between
+  // sub-batches). Schedulers must place work on alive nodes only.
+  bool node_alive(wl::NodeId n) const { return engine.node_alive(n); }
+  std::vector<wl::NodeId> alive_nodes() const {
+    std::vector<wl::NodeId> out;
+    out.reserve(cluster.num_compute_nodes);
+    for (wl::NodeId n = 0; n < cluster.num_compute_nodes; ++n)
+      if (engine.node_alive(n)) out.push_back(n);
+    return out;
+  }
 };
 
 class Scheduler {

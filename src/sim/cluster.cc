@@ -1,24 +1,39 @@
 #include "sim/cluster.h"
 
 #include <cmath>
+#include <string>
 
 #include "util/check.h"
 
 namespace bsio::sim {
 
-void ClusterConfig::validate() const {
-  BSIO_CHECK(num_compute_nodes > 0);
-  BSIO_CHECK(num_storage_nodes > 0);
-  BSIO_CHECK(storage_disk_bw > 0.0);
-  BSIO_CHECK(storage_net_bw > 0.0);
-  BSIO_CHECK(compute_net_bw > 0.0);
-  BSIO_CHECK(local_disk_bw > 0.0);
-  BSIO_CHECK(disk_capacity > 0.0);
+Status ClusterConfig::validate() const {
+  if (num_compute_nodes == 0)
+    return Err("ClusterConfig: num_compute_nodes must be > 0");
+  if (num_storage_nodes == 0)
+    return Err("ClusterConfig: num_storage_nodes must be > 0");
+  if (!(storage_disk_bw > 0.0))
+    return Err("ClusterConfig: storage_disk_bw must be > 0");
+  if (!(storage_net_bw > 0.0))
+    return Err("ClusterConfig: storage_net_bw must be > 0");
+  if (!(compute_net_bw > 0.0))
+    return Err("ClusterConfig: compute_net_bw must be > 0");
+  if (!(local_disk_bw > 0.0))
+    return Err("ClusterConfig: local_disk_bw must be > 0");
+  if (!(disk_capacity > 0.0))
+    return Err("ClusterConfig: disk_capacity must be > 0");
   if (!disk_capacity_per_node.empty()) {
-    BSIO_CHECK_MSG(disk_capacity_per_node.size() == num_compute_nodes,
-                   "per-node disk capacities must cover every compute node");
-    for (double cap : disk_capacity_per_node) BSIO_CHECK(cap > 0.0);
+    if (disk_capacity_per_node.size() != num_compute_nodes)
+      return Err("ClusterConfig: per-node disk capacities must cover every "
+                 "compute node (" +
+                 std::to_string(disk_capacity_per_node.size()) +
+                 " entries for " + std::to_string(num_compute_nodes) +
+                 " nodes)");
+    for (double cap : disk_capacity_per_node)
+      if (!(cap > 0.0))
+        return Err("ClusterConfig: per-node disk capacities must be > 0");
   }
+  return OkStatus();
 }
 
 double ClusterConfig::aggregate_disk_capacity() const {

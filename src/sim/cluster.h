@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "util/error.h"
 #include "workload/types.h"
 
 namespace bsio::sim {
@@ -73,7 +74,10 @@ struct ClusterConfig {
   // Effective bandwidth of a compute-to-compute replication.
   double replica_bw() const { return compute_net_bw; }
 
-  void validate() const;
+  // Recoverable validation of user-supplied configuration (node counts,
+  // bandwidths, per-node capacity arity). Callers that cannot proceed on a
+  // bad config should surface the error rather than abort.
+  Status validate() const;
 };
 
 // The OSC compute cluster against the XIO storage pool (Infiniband path,

@@ -23,6 +23,11 @@ void ExecutionStats::accumulate(const ExecutionStats& o) {
   cache_hits += o.cache_hits;
   remote_bytes += o.remote_bytes;
   replica_bytes += o.replica_bytes;
+  transfer_retries += o.transfer_retries;
+  task_reexecutions += o.task_reexecutions;
+  node_crashes += o.node_crashes;
+  lost_replica_bytes += o.lost_replica_bytes;
+  recovery_seconds += o.recovery_seconds;
 }
 
 ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
@@ -42,14 +47,25 @@ ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
       }()),
       pending_requests_(workload.num_files(), 0.0),
       executed_(workload.num_tasks(), false),
-      was_evicted_(workload.num_files(), false) {
-  cluster.validate();
+      was_evicted_(workload.num_files(), false),
+      faults_(options.faults, cluster.num_compute_nodes,
+              cluster.num_storage_nodes),
+      alive_(cluster.num_compute_nodes, 1) {
+  if (const Status v = cluster.validate(); !v.ok())
+    BSIO_CHECK_MSG(false, v.error().message.c_str());
+  if (const Status v = options.faults.validate(cluster); !v.ok())
+    BSIO_CHECK_MSG(false, v.error().message.c_str());
   for (const auto& f : workload.files())
     BSIO_CHECK_MSG(
         f.home_storage_node < cluster.num_storage_nodes,
         "workload was generated for more storage nodes than the cluster has");
   for (const auto& t : workload.tasks())
     for (wl::FileId f : t.files) pending_requests_[f] += 1.0;
+  // Storage outages are reservations made up front: transfers route around
+  // the window (or wait it out) through the ordinary gap search.
+  for (wl::NodeId s = 0; s < cluster.num_storage_nodes; ++s)
+    for (const StorageOutage& o : faults_.outages_of(s))
+      storage_tl_[s].reserve(o.start, o.end - o.start);
 }
 
 ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
@@ -83,22 +99,28 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
   };
 
   // A fixed staging directive (IP plan) short-circuits the dynamic rule,
-  // unless it has gone stale (replica source no longer holds the file).
+  // unless it has gone stale (replica source no longer holds the file, has
+  // crashed, or would crash before the copy completes).
   auto it = plan.staging.find({file, dst});
   if (it != plan.staging.end()) {
     const StagingSource& s = it->second;
     if (s.kind == SourceKind::kRemote) return remote_choice();
     if (cluster_.allow_replication && s.src_node != dst &&
-        s.src_node < cluster_.num_compute_nodes &&
-        state_.has(s.src_node, file))
-      return replica_choice(s.src_node);
+        s.src_node < cluster_.num_compute_nodes && alive_[s.src_node] &&
+        state_.has(s.src_node, file)) {
+      TransferChoice c = replica_choice(s.src_node);
+      if (c.completion() <= faults_.crash_time(s.src_node)) return c;
+    }
   }
 
   TransferChoice best = remote_choice();
   if (cluster_.allow_replication) {
     for (wl::NodeId j : state_.holders(file)) {
-      if (j == dst) continue;
+      if (j == dst || !alive_[j]) continue;
       TransferChoice c = replica_choice(j);
+      // A source scheduled to crash before the copy completes cannot serve
+      // it.
+      if (c.completion() > faults_.crash_time(j)) continue;
       // Strictly-better completion wins; ties keep the replica with the
       // lowest source id, preferring replicas over remote (less storage
       // contention) on exact ties.
@@ -156,8 +178,60 @@ void ExecutionEngine::evict_for(wl::NodeId node, double need,
   }
 }
 
-double ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
-                                    wl::NodeId node, ExecutionStats& stats) {
+ExecutionEngine::TransferChoice ExecutionEngine::commit_transfer(
+    const SubBatchPlan& plan, wl::TaskId task, wl::FileId file, wl::NodeId dst,
+    double after, bool touch_replica_source, ExecutionStats& stats) {
+  const double size = workload_.file_size(file);
+  const std::uint64_t seq = transfer_seq_++;
+  for (std::size_t attempt = 0;; ++attempt) {
+    TransferChoice c = best_transfer(plan, file, dst, after);
+    if (c.remote) {
+      storage_tl_[c.src].reserve(c.start, c.duration);
+      if (has_uplink_) uplink_tl_.reserve(c.start, c.duration);
+    } else {
+      compute_tl_[c.src].reserve(c.start, c.duration);
+    }
+    compute_tl_[dst].reserve(c.start, c.duration);
+
+    if (!faults_.transfer_attempt_fails(seq, attempt)) {
+      if (c.remote) {
+        ++stats.remote_transfers;
+        stats.remote_bytes += size;
+      } else {
+        if (touch_replica_source)
+          state_.touch(c.src, file, c.completion());
+        ++stats.replications;
+        stats.replica_bytes += size;
+      }
+      if (was_evicted_[file]) ++stats.restages;
+      if (options_.trace)
+        trace_.push_back({c.remote ? TraceEvent::Kind::kRemoteTransfer
+                                   : TraceEvent::Kind::kReplication,
+                          task, file, c.src, dst, c.start, c.completion()});
+      return c;
+    }
+
+    // Transient failure: the attempt held its links for the full window;
+    // back off exponentially, then retry against the then-best source.
+    const double backoff = faults_.backoff_after(attempt);
+    ++stats.transfer_retries;
+    stats.recovery_seconds += c.duration + backoff;
+    if (options_.trace)
+      trace_.push_back({TraceEvent::Kind::kFailedTransfer, task, file, c.src,
+                        dst, c.start, c.completion()});
+    after = c.completion() + backoff;
+  }
+}
+
+void ExecutionEngine::apply_crash(wl::NodeId node, ExecutionStats& stats) {
+  if (!alive_[node]) return;
+  alive_[node] = 0;
+  stats.lost_replica_bytes += state_.clear_node(node);
+  ++stats.node_crashes;
+}
+
+bool ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
+                                  wl::NodeId node, ExecutionStats& stats) {
   const auto& info = workload_.task(task);
   const std::vector<wl::FileId>& pinned = info.files;
 
@@ -177,14 +251,12 @@ double ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
     // Greedy minimum-TCT-first staging (paper Section 6): evaluate every
     // remaining file against the current Gantt state, commit the earliest.
     std::size_t best_i = 0;
-    TransferChoice best;
     double best_tct = kInfTime;
     const double after = compute_tl_[node].horizon();
     for (std::size_t i = 0; i < remaining.size(); ++i) {
       TransferChoice c = best_transfer(plan, remaining[i], node, after);
       if (c.completion() < best_tct) {
         best_tct = c.completion();
-        best = c;
         best_i = i;
       }
     }
@@ -196,26 +268,11 @@ double ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
     // reference ends at or before the horizon).
     evict_for(node, size - state_.free_bytes(node), pinned, stats);
 
-    if (best.remote) {
-      storage_tl_[best.src].reserve(best.start, best.duration);
-      if (has_uplink_) uplink_tl_.reserve(best.start, best.duration);
-      ++stats.remote_transfers;
-      stats.remote_bytes += size;
-    } else {
-      compute_tl_[best.src].reserve(best.start, best.duration);
-      state_.touch(best.src, file, best.completion());
-      ++stats.replications;
-      stats.replica_bytes += size;
-    }
-    compute_tl_[node].reserve(best.start, best.duration);
-    if (was_evicted_[file]) ++stats.restages;
-    if (options_.trace)
-      trace_.push_back({best.remote ? TraceEvent::Kind::kRemoteTransfer
-                                    : TraceEvent::Kind::kReplication,
-                        task, file, best.src, node, best.start,
-                        best.completion()});
-    state_.add(node, file, size, best.completion());
-    last_end = std::max(last_end, best.completion());
+    TransferChoice done = commit_transfer(plan, task, file, node, after,
+                                          /*touch_replica_source=*/true,
+                                          stats);
+    state_.add(node, file, size, done.completion());
+    last_end = std::max(last_end, done.completion());
     remaining.erase(remaining.begin() + best_i);
   }
 
@@ -224,8 +281,28 @@ double ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
   const double exec_dur =
       read_bytes / cluster_.local_disk_bw + info.compute_seconds;
   const double start = compute_tl_[node].earliest_free(last_end, exec_dur);
-  compute_tl_[node].reserve(start, exec_dur);
   const double completion = start + exec_dur;
+
+  const double crash_t = faults_.crash_time(node);
+  if (completion > crash_t) {
+    // Fail-stop: the node dies before this task finishes. Charge whatever
+    // partial execution happened, orphan the task for re-scheduling, and
+    // lose the node's cache. Earlier transfer reservations stand — they
+    // were in flight when the failure was detected.
+    if (start < crash_t) {
+      compute_tl_[node].reserve(start, crash_t - start);
+      stats.recovery_seconds += crash_t - start;
+      if (options_.trace)
+        trace_.push_back({TraceEvent::Kind::kExec, task, wl::kInvalidFile,
+                          wl::kInvalidNode, node, start, crash_t});
+    }
+    ++stats.task_reexecutions;
+    orphaned_.push_back(task);
+    apply_crash(node, stats);
+    return false;
+  }
+
+  compute_tl_[node].reserve(start, exec_dur);
   if (options_.trace)
     trace_.push_back({TraceEvent::Kind::kExec, task, wl::kInvalidFile,
                       wl::kInvalidNode, node, start, completion});
@@ -237,50 +314,58 @@ double ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
   executed_[task] = true;
   ++stats.tasks_executed;
   makespan_ = std::max(makespan_, completion);
-  return completion;
+  return true;
 }
 
-ExecutionStats ExecutionEngine::execute(const SubBatchPlan& plan) {
+Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
+  // --- Recoverable plan validation, before any state mutates. ---
+  for (const auto& [file, dst] : plan.prefetches) {
+    if (file >= workload_.num_files())
+      return Err("SubBatchPlan: prefetch names unknown file " +
+                 std::to_string(file));
+    if (dst >= cluster_.num_compute_nodes)
+      return Err("SubBatchPlan: prefetch names invalid compute node " +
+                 std::to_string(dst));
+    if (!alive_[dst])
+      return Err("SubBatchPlan: prefetch targets crashed compute node " +
+                 std::to_string(dst));
+  }
+  for (wl::TaskId t : plan.tasks) {
+    if (t >= workload_.num_tasks())
+      return Err("SubBatchPlan: plan names unknown task " + std::to_string(t));
+    if (executed_[t])
+      return Err("SubBatchPlan: task " + std::to_string(t) +
+                 " was already executed");
+    auto it = plan.assignment.find(t);
+    if (it == plan.assignment.end())
+      return Err("SubBatchPlan: task " + std::to_string(t) +
+                 " is missing an assignment");
+    if (it->second >= cluster_.num_compute_nodes)
+      return Err("SubBatchPlan: task " + std::to_string(t) +
+                 " is assigned to invalid compute node " +
+                 std::to_string(it->second));
+    if (!alive_[it->second])
+      return Err("SubBatchPlan: task " + std::to_string(t) +
+                 " is assigned to crashed compute node " +
+                 std::to_string(it->second));
+  }
+
   ExecutionStats stats;
 
   // Proactive replications (Data Least Loaded) before task scheduling.
   for (const auto& [file, dst] : plan.prefetches) {
-    BSIO_CHECK(dst < cluster_.num_compute_nodes);
     if (state_.has(dst, file)) continue;
     const double size = workload_.file_size(file);
-    TransferChoice c =
-        best_transfer(plan, file, dst, compute_tl_[dst].horizon());
+    const double after = compute_tl_[dst].horizon();
     evict_for(dst, size - state_.free_bytes(dst), {file}, stats);
-    if (c.remote) {
-      storage_tl_[c.src].reserve(c.start, c.duration);
-      if (has_uplink_) uplink_tl_.reserve(c.start, c.duration);
-      ++stats.remote_transfers;
-      stats.remote_bytes += size;
-    } else {
-      compute_tl_[c.src].reserve(c.start, c.duration);
-      ++stats.replications;
-      stats.replica_bytes += size;
-    }
-    compute_tl_[dst].reserve(c.start, c.duration);
-    if (was_evicted_[file]) ++stats.restages;
-    if (options_.trace)
-      trace_.push_back({c.remote ? TraceEvent::Kind::kRemoteTransfer
-                                 : TraceEvent::Kind::kReplication,
-                        wl::kInvalidTask, file, c.src, dst, c.start,
-                        c.completion()});
+    TransferChoice c = commit_transfer(plan, wl::kInvalidTask, file, dst,
+                                       after, /*touch_replica_source=*/false,
+                                       stats);
     state_.add(dst, file, size, c.completion());
   }
 
   std::vector<std::vector<wl::TaskId>> groups(cluster_.num_compute_nodes);
-  for (wl::TaskId t : plan.tasks) {
-    BSIO_CHECK_MSG(t < workload_.num_tasks(), "plan names unknown task");
-    BSIO_CHECK_MSG(!executed_[t], "plan re-executes a task");
-    auto it = plan.assignment.find(t);
-    BSIO_CHECK_MSG(it != plan.assignment.end(), "task missing an assignment");
-    BSIO_CHECK_MSG(it->second < cluster_.num_compute_nodes,
-                   "assignment names an invalid compute node");
-    groups[it->second].push_back(t);
-  }
+  for (wl::TaskId t : plan.tasks) groups[plan.assignment.at(t)].push_back(t);
 
   std::size_t left = plan.tasks.size();
   while (left > 0) {
@@ -310,12 +395,30 @@ ExecutionStats ExecutionEngine::execute(const SubBatchPlan& plan) {
     }
     wl::TaskId task = group[best_i];
     group.erase(group.begin() + best_i);
-    commit_task(plan, task, node, stats);
     --left;
+    if (!commit_task(plan, task, node, stats)) {
+      // The node crashed killing `task`; its queued siblings are orphaned
+      // for the driver's re-scheduling loop.
+      for (wl::TaskId t : group) orphaned_.push_back(t);
+      left -= group.size();
+      group.clear();
+    }
   }
 
   totals_.accumulate(stats);
   return stats;
+}
+
+std::vector<wl::TaskId> ExecutionEngine::take_orphaned() {
+  std::vector<wl::TaskId> out;
+  out.swap(orphaned_);
+  return out;
+}
+
+std::size_t ExecutionEngine::alive_count() const {
+  std::size_t n = 0;
+  for (char a : alive_) n += a != 0;
+  return n;
 }
 
 std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
@@ -328,11 +431,21 @@ std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
   std::string out = "kind,task,file,src,dst,start,end\n";
   char buf[160];
   for (const auto& e : sorted) {
-    const char* kind = e.kind == TraceEvent::Kind::kRemoteTransfer
-                           ? "remote"
-                           : e.kind == TraceEvent::Kind::kReplication
-                                 ? "replica"
-                                 : "exec";
+    const char* kind = "exec";
+    switch (e.kind) {
+      case TraceEvent::Kind::kRemoteTransfer:
+        kind = "remote";
+        break;
+      case TraceEvent::Kind::kReplication:
+        kind = "replica";
+        break;
+      case TraceEvent::Kind::kFailedTransfer:
+        kind = "failed";
+        break;
+      case TraceEvent::Kind::kExec:
+        kind = "exec";
+        break;
+    }
     auto id = [](auto v) {
       return v == static_cast<decltype(v)>(-1) ? -1L : static_cast<long>(v);
     };

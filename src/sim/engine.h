@@ -17,15 +17,23 @@
 //    resident on a node stopped being referenced before the node's horizon;
 //  - disk-space shortfalls at staging time trigger the configured eviction
 //    policy; files needed again later are re-staged (counted as evictions
-//    and re-transfers, the effect driving the paper's Fig 5b).
+//    and re-transfers, the effect driving the paper's Fig 5b);
+//  - an optional FaultModel (sim/faults.h) injects transient transfer
+//    failures (retried with exponential backoff, every attempt and backoff
+//    charged on the timelines), compute-node fail-stop crashes (cache lost,
+//    unfinished tasks orphaned for re-scheduling) and storage outage
+//    windows (pre-reserved on the storage port, degrading staging to
+//    replica-only sourcing until the window ends).
 #pragma once
 
 #include <vector>
 
 #include "sim/cluster.h"
+#include "sim/faults.h"
 #include "sim/plan.h"
 #include "sim/state.h"
 #include "sim/timeline.h"
+#include "util/error.h"
 #include "workload/types.h"
 
 namespace bsio::sim {
@@ -35,12 +43,17 @@ struct EngineOptions {
   // Record a TraceEvent per transfer / execution block (off by default;
   // costs one vector push per event).
   bool trace = false;
+  // Fault injection (see sim/faults.h). The default injects nothing and
+  // leaves every simulation bit-identical to the fault-free engine.
+  FaultConfig faults;
 };
 
-// One row of the execution trace: a remote transfer, a replication, or a
-// task's local-read + compute block, with its Gantt placement.
+// One row of the execution trace: a remote transfer, a replication, a
+// failed transfer attempt, or a task's local-read + compute block, with its
+// Gantt placement. An exec block cut short by a node crash is recorded with
+// end = crash time.
 struct TraceEvent {
-  enum class Kind { kRemoteTransfer, kReplication, kExec };
+  enum class Kind { kRemoteTransfer, kReplication, kExec, kFailedTransfer };
   Kind kind = Kind::kExec;
   wl::TaskId task = wl::kInvalidTask;  // kExec, or the task whose commit
                                        // triggered the transfer
@@ -63,6 +76,15 @@ struct ExecutionStats {
   double remote_bytes = 0.0;
   double replica_bytes = 0.0;
 
+  // Failure / recovery counters (all zero with faults disabled).
+  std::size_t transfer_retries = 0;   // failed transfer attempts
+  std::size_t task_reexecutions = 0;  // tasks killed by a crash, to re-run
+  std::size_t node_crashes = 0;       // compute-node crashes applied
+  double lost_replica_bytes = 0.0;    // cache bytes dropped by crashes
+  // Simulated seconds lost to recovery: failed-attempt windows, retry
+  // backoffs, and the partial execution of crash-killed tasks.
+  double recovery_seconds = 0.0;
+
   void accumulate(const ExecutionStats& o);
 };
 
@@ -72,8 +94,12 @@ class ExecutionEngine {
                   EngineOptions options = {});
 
   // Executes one sub-batch plan on top of the current cluster state; returns
-  // the stats of this call. Plans must reference tasks not yet executed.
-  ExecutionStats execute(const SubBatchPlan& plan);
+  // the stats of this call. A malformed plan (unknown task/node ids, a task
+  // already executed, a missing assignment, work placed on a crashed node)
+  // yields a recoverable error before any state mutates. Tasks killed by an
+  // injected node crash are NOT executed — they surface via
+  // take_orphaned() for re-scheduling.
+  Result<ExecutionStats> execute(const SubBatchPlan& plan);
 
   // Batch execution time so far: the latest completion over all executed
   // tasks.
@@ -89,6 +115,16 @@ class ExecutionEngine {
 
   // Per-compute-node busy time (utilisation diagnostics).
   std::vector<double> compute_busy_times() const;
+
+  // --- Failure recovery surface. ---
+  const FaultModel& faults() const { return faults_; }
+  bool node_alive(wl::NodeId node) const { return alive_[node] != 0; }
+  std::size_t alive_count() const;
+  // Per-compute-node liveness (1 = alive), for scheduler consumption.
+  const std::vector<char>& alive_mask() const { return alive_; }
+  // Tasks orphaned by node crashes since the last call (killed mid-run or
+  // never started on a dead node); the caller owns re-scheduling them.
+  std::vector<wl::TaskId> take_orphaned();
 
   // Execution trace (empty unless EngineOptions::trace was set).
   const std::vector<TraceEvent>& trace() const { return trace_; }
@@ -117,11 +153,24 @@ class ExecutionEngine {
   // Cheap ECT estimate used only to rank a node's pending tasks.
   double estimate_ect(wl::TaskId task, wl::NodeId node) const;
 
+  // Commits the staging of `file` onto `dst` starting no earlier than
+  // `after`, injecting transient failures: each failed attempt reserves its
+  // links for the full window, and the retry waits an exponential backoff
+  // before re-picking the then-best source. Returns the successful choice.
+  TransferChoice commit_transfer(const SubBatchPlan& plan, wl::TaskId task,
+                                 wl::FileId file, wl::NodeId dst, double after,
+                                 bool touch_replica_source,
+                                 ExecutionStats& stats);
+
   // Commits `task` on `node`: stages missing files (minimum-TCT-first),
   // evicting on demand, then reserves the local-read + compute block.
-  // Returns the task completion time.
-  double commit_task(const SubBatchPlan& plan, wl::TaskId task,
-                     wl::NodeId node, ExecutionStats& stats);
+  // Returns false when an injected crash killed the task (the node is dead
+  // and the task was orphaned).
+  bool commit_task(const SubBatchPlan& plan, wl::TaskId task, wl::NodeId node,
+                   ExecutionStats& stats);
+
+  // Fail-stops `node`: drops its cached replicas and marks it dead.
+  void apply_crash(wl::NodeId node, ExecutionStats& stats);
 
   // Frees `need` bytes on `node` before a staging that starts at the node
   // horizon; `pinned` lists the current task's files.
@@ -145,6 +194,11 @@ class ExecutionEngine {
   double makespan_ = 0.0;
   ExecutionStats totals_;
   std::vector<TraceEvent> trace_;
+
+  FaultModel faults_;
+  std::vector<char> alive_;            // per compute node, 1 = alive
+  std::uint64_t transfer_seq_ = 0;     // logical transfer counter
+  std::vector<wl::TaskId> orphaned_;   // crash-killed / never-started tasks
 };
 
 // Renders a trace as CSV (kind,task,file,src,dst,start,end), sorted by

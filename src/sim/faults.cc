@@ -1,0 +1,93 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/rng.h"
+
+namespace bsio::sim {
+
+Status FaultConfig::validate(const ClusterConfig& cluster) const {
+  if (!(transfer_failure_prob >= 0.0 && transfer_failure_prob <= 1.0))
+    return Err("FaultConfig: transfer_failure_prob must be in [0, 1]");
+  if (max_transfer_attempts == 0)
+    return Err("FaultConfig: max_transfer_attempts must be at least 1");
+  if (!(retry_backoff_seconds >= 0.0) || !std::isfinite(retry_backoff_seconds))
+    return Err("FaultConfig: retry_backoff_seconds must be finite and >= 0");
+  if (!(retry_backoff_factor >= 1.0) || !std::isfinite(retry_backoff_factor))
+    return Err("FaultConfig: retry_backoff_factor must be finite and >= 1");
+  for (const ComputeCrash& c : compute_crashes) {
+    if (c.node >= cluster.num_compute_nodes)
+      return Err("FaultConfig: crash names compute node " +
+                 std::to_string(c.node) + " but the cluster has only " +
+                 std::to_string(cluster.num_compute_nodes));
+    if (!(c.time >= 0.0) || !std::isfinite(c.time))
+      return Err("FaultConfig: crash time must be finite and >= 0");
+  }
+  for (const StorageOutage& o : storage_outages) {
+    if (o.node >= cluster.num_storage_nodes)
+      return Err("FaultConfig: outage names storage node " +
+                 std::to_string(o.node) + " but the cluster has only " +
+                 std::to_string(cluster.num_storage_nodes));
+    if (!(o.start >= 0.0) || !(o.end > o.start) || !std::isfinite(o.end))
+      return Err("FaultConfig: outage window must satisfy 0 <= start < end "
+                 "< infinity");
+  }
+  return OkStatus();
+}
+
+FaultModel::FaultModel(FaultConfig config, std::size_t num_compute_nodes,
+                       std::size_t num_storage_nodes)
+    : config_(std::move(config)),
+      crash_time_(num_compute_nodes,
+                  std::numeric_limits<double>::infinity()),
+      outages_(num_storage_nodes) {
+  for (const ComputeCrash& c : config_.compute_crashes)
+    crash_time_[c.node] = std::min(crash_time_[c.node], c.time);
+  for (const StorageOutage& o : config_.storage_outages)
+    outages_[o.node].push_back(o);
+  // Merge overlapping/adjacent windows per node so the engine can reserve
+  // each one on a fresh timeline.
+  for (auto& windows : outages_) {
+    std::sort(windows.begin(), windows.end(),
+              [](const StorageOutage& a, const StorageOutage& b) {
+                return a.start < b.start;
+              });
+    std::vector<StorageOutage> merged;
+    for (const StorageOutage& o : windows) {
+      if (!merged.empty() && o.start <= merged.back().end)
+        merged.back().end = std::max(merged.back().end, o.end);
+      else
+        merged.push_back(o);
+    }
+    windows = std::move(merged);
+  }
+}
+
+bool FaultModel::transfer_attempt_fails(std::uint64_t transfer_index,
+                                        std::size_t attempt) const {
+  if (config_.transfer_failure_prob <= 0.0) return false;
+  if (attempt + 1 >= config_.max_transfer_attempts) return false;
+  if (config_.transfer_failure_prob >= 1.0) return true;
+  // Stateless coin: independent of draw order, so a retry never shifts the
+  // fault pattern seen by unrelated transfers.
+  const std::uint64_t h = hash_mix(
+      hash_mix(config_.seed + 0x9e3779b97f4a7c15ULL * transfer_index) +
+      attempt);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config_.transfer_failure_prob;
+}
+
+double FaultModel::backoff_after(std::size_t attempt) const {
+  return config_.retry_backoff_seconds *
+         std::pow(config_.retry_backoff_factor, static_cast<double>(attempt));
+}
+
+const std::vector<StorageOutage>& FaultModel::outages_of(
+    wl::NodeId storage_node) const {
+  static const std::vector<StorageOutage> kNone;
+  return storage_node < outages_.size() ? outages_[storage_node] : kNone;
+}
+
+}  // namespace bsio::sim

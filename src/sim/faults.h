@@ -1,0 +1,111 @@
+// Deterministic, seeded fault injection for the execution engine.
+//
+// Three failure classes, all replayable bit-for-bit from a single seed:
+//
+//  - Transient transfer failures: every transfer attempt fails with
+//    probability transfer_failure_prob, decided by a stateless hash of
+//    (seed, transfer index, attempt) so retries never perturb unrelated
+//    draws. A failed attempt occupies its endpoint links for the full
+//    transfer window (the failure is detected at the deadline — the
+//    conservative single-port accounting), and the retry waits an
+//    exponentially growing backoff before re-picking the then-best source.
+//    The final allowed attempt always succeeds so simulations terminate
+//    even at probability 1.
+//
+//  - Compute-node crashes: node fail-stops at the scheduled instant. The
+//    first task whose execution block would run past the crash is killed
+//    (its partial work up to the crash is charged on the node timeline),
+//    the node's entire disk cache is lost, and the node accepts no further
+//    work. Killed and never-started tasks of the node surface through
+//    ExecutionEngine::take_orphaned() for driver-level re-scheduling.
+//
+//  - Storage-node outages: a storage node serves nothing during
+//    [start, end). Realised as a pre-reserved window on the node's port
+//    timeline, so remote transfers either wait the window out or the
+//    engine's dynamic rule degrades to replica-only sourcing.
+//
+// A default-constructed FaultModel injects nothing and draws nothing: with
+// faults disabled, every simulation reproduces the fault-free makespans
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "util/error.h"
+#include "workload/types.h"
+
+namespace bsio::sim {
+
+struct ComputeCrash {
+  wl::NodeId node = wl::kInvalidNode;
+  double time = 0.0;  // fail-stop instant, simulated seconds
+};
+
+struct StorageOutage {
+  wl::NodeId node = wl::kInvalidNode;
+  double start = 0.0;
+  double end = 0.0;  // half-open window [start, end)
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedULL;
+  // Per-attempt probability that a transfer (remote or replication) fails.
+  double transfer_failure_prob = 0.0;
+  // Attempts per transfer, counting the first; the last never fails.
+  std::size_t max_transfer_attempts = 5;
+  // Backoff after failed attempt k (0-based) is
+  // retry_backoff_seconds * factor^k.
+  double retry_backoff_seconds = 0.5;
+  double retry_backoff_factor = 2.0;
+  std::vector<ComputeCrash> compute_crashes;
+  std::vector<StorageOutage> storage_outages;
+
+  bool enabled() const {
+    return transfer_failure_prob > 0.0 || !compute_crashes.empty() ||
+           !storage_outages.empty();
+  }
+
+  // Recoverable validation against a cluster's shape (node-id ranges,
+  // probability bounds, window sanity).
+  Status validate(const ClusterConfig& cluster) const;
+};
+
+class FaultModel {
+ public:
+  FaultModel() = default;  // injects nothing
+  // The config must already validate against the target cluster.
+  explicit FaultModel(FaultConfig config, std::size_t num_compute_nodes,
+                      std::size_t num_storage_nodes);
+
+  const FaultConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  // Does attempt `attempt` (0-based) of the `transfer_index`-th committed
+  // transfer fail? Stateless and deterministic; the last allowed attempt
+  // never fails.
+  bool transfer_attempt_fails(std::uint64_t transfer_index,
+                              std::size_t attempt) const;
+
+  // Backoff charged after failed attempt `attempt` (0-based).
+  double backoff_after(std::size_t attempt) const;
+
+  // Fail-stop time of a compute node; +infinity when none is scheduled.
+  double crash_time(wl::NodeId node) const {
+    return node < crash_time_.size()
+               ? crash_time_[node]
+               : std::numeric_limits<double>::infinity();
+  }
+
+  // Merged, sorted outage windows of a storage node.
+  const std::vector<StorageOutage>& outages_of(wl::NodeId storage_node) const;
+
+ private:
+  FaultConfig config_;
+  std::vector<double> crash_time_;                   // per compute node
+  std::vector<std::vector<StorageOutage>> outages_;  // per storage node
+};
+
+}  // namespace bsio::sim

@@ -58,6 +58,13 @@ void ClusterState::remove(wl::NodeId node, wl::FileId file,
   used_[node] -= size_bytes;
 }
 
+double ClusterState::clear_node(wl::NodeId node) {
+  const double lost = used_[node];
+  caches_[node].clear();
+  used_[node] = 0.0;
+  return lost;
+}
+
 void ClusterState::touch(wl::NodeId node, wl::FileId file, double time) {
   auto it = caches_[node].find(file);
   if (it != caches_[node].end())

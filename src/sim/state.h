@@ -49,6 +49,9 @@ class ClusterState {
   void add(wl::NodeId node, wl::FileId file, double size_bytes,
            double avail_time);
   void remove(wl::NodeId node, wl::FileId file, double size_bytes);
+  // Drops every file cached on `node` (crash recovery); returns the bytes
+  // lost.
+  double clear_node(wl::NodeId node);
   // Updates the LRU stamp.
   void touch(wl::NodeId node, wl::FileId file, double time);
 

@@ -1,0 +1,81 @@
+// Typed recoverable errors for user-input paths.
+//
+// BSIO_CHECK (util/check.h) stays the tool for true internal invariants —
+// it aborts. Conditions a caller can meaningfully handle instead return a
+// Result<T>: a malformed ClusterConfig or FaultConfig, a SubBatchPlan that
+// names unknown ids or re-executes a task. The split keeps the hot paths
+// abort-on-bug while letting library users validate input gracefully.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace bsio {
+
+struct Error {
+  std::string message;
+};
+
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+// A value or an Error. Accessing the wrong arm is an internal invariant
+// violation (aborts), so callers must branch on ok() first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}
+  Result(Error error) : v_(std::move(error)) {}
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    BSIO_CHECK_MSG(ok(), "Result::value() called on an error");
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    BSIO_CHECK_MSG(ok(), "Result::value() called on an error");
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    BSIO_CHECK_MSG(ok(), "Result::value() called on an error");
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    BSIO_CHECK_MSG(!ok(), "Result::error() called on a value");
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+// Success/failure without a payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)), failed_(true) {}
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    BSIO_CHECK_MSG(failed_, "Result::error() called on a value");
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+using Status = Result<void>;
+
+inline Status OkStatus() { return Status(); }
+
+}  // namespace bsio

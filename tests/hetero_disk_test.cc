@@ -35,13 +35,15 @@ TEST(HeteroDisk, ConfigHelpers) {
   EXPECT_DOUBLE_EQ(c.node_disk_capacity(1), 2.0 * sim::kGB);
   EXPECT_TRUE(std::isinf(c.aggregate_disk_capacity()));
   EXPECT_FALSE(c.unlimited_disk());
-  c.validate();
+  EXPECT_TRUE(c.validate().ok());
 }
 
 TEST(HeteroDisk, ValidateRejectsWrongArity) {
   sim::ClusterConfig c = sim::xio_cluster(3, 2);
   c.disk_capacity_per_node = {sim::kGB};  // 1 entry for 3 nodes
-  EXPECT_DEATH(c.validate(), "per-node disk");
+  const auto v = c.validate();
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.error().message.find("per-node disk"), std::string::npos);
 }
 
 TEST(HeteroDisk, EngineEnforcesPerNodeCapacity) {
@@ -67,7 +69,7 @@ TEST(HeteroDisk, EngineEnforcesPerNodeCapacity) {
   p.assignment[1] = 0;
   p.assignment[2] = 1;
   p.assignment[3] = 1;
-  auto stats = eng.execute(p);
+  auto stats = eng.execute(p).value();
   EXPECT_EQ(stats.evictions, 1u);  // only node 0 evicts
   EXPECT_DOUBLE_EQ(eng.state().capacity(0), 55.0 * sim::kMB);
   EXPECT_LE(eng.state().used_bytes(0), 55.0 * sim::kMB);

@@ -150,7 +150,7 @@ TEST(Engine, SingleTaskTiming) {
   wl::Workload w(std::move(tasks), std::move(files));
 
   ExecutionEngine eng(tiny_cluster(), w);
-  auto stats = eng.execute(all_on(w, 0));
+  auto stats = eng.execute(all_on(w, 0)).value();
   EXPECT_EQ(stats.tasks_executed, 1u);
   EXPECT_EQ(stats.remote_transfers, 1u);
   EXPECT_EQ(stats.replications, 0u);
@@ -168,7 +168,7 @@ TEST(Engine, SharedFileIsTransferredOnceToSameNode) {
   wl::Workload w(std::move(tasks), std::move(files));
 
   ExecutionEngine eng(tiny_cluster(), w);
-  auto stats = eng.execute(all_on(w, 0));
+  auto stats = eng.execute(all_on(w, 0)).value();
   EXPECT_EQ(stats.remote_transfers, 1u);
   EXPECT_EQ(stats.cache_hits, 1u);
 }
@@ -191,7 +191,7 @@ TEST(Engine, ReplicationBeatsSecondRemoteTransfer) {
   p.assignment[1] = 1;
 
   ExecutionEngine eng(tiny_cluster(), w);
-  auto stats = eng.execute(p);
+  auto stats = eng.execute(p).value();
   EXPECT_EQ(stats.remote_transfers, 1u);
   EXPECT_EQ(stats.replications, 1u);
   EXPECT_GT(stats.replica_bytes, 0.0);
@@ -214,7 +214,7 @@ TEST(Engine, NoReplicationFlagForcesRemote) {
   ClusterConfig c = tiny_cluster();
   c.allow_replication = false;
   ExecutionEngine eng(c, w);
-  auto stats = eng.execute(p);
+  auto stats = eng.execute(p).value();
   EXPECT_EQ(stats.remote_transfers, 2u);
   EXPECT_EQ(stats.replications, 0u);
 }
@@ -238,7 +238,7 @@ TEST(Engine, FixedStagingDirectiveIsHonoured) {
   p.staging[{0u, 1u}] = {SourceKind::kRemote, wl::kInvalidNode};
 
   ExecutionEngine eng(tiny_cluster(), w);
-  auto stats = eng.execute(p);
+  auto stats = eng.execute(p).value();
   EXPECT_EQ(stats.remote_transfers, 2u);
   EXPECT_EQ(stats.replications, 0u);
 }
@@ -262,7 +262,7 @@ TEST(Engine, StorageContentionSerialisesTransfers) {
   p.assignment[1] = 1;
 
   ExecutionEngine eng(tiny_cluster(), w);
-  eng.execute(p);
+  ASSERT_TRUE(eng.execute(p).ok());
   // Second transfer starts at 1.0; completes 2.0; + 0.1 read.
   EXPECT_NEAR(eng.makespan(), 2.1, 1e-9);
   eng.storage_timeline(0).validate();
@@ -284,7 +284,7 @@ TEST(Engine, EvictionTriggersWhenDiskIsTight) {
   ClusterConfig c = tiny_cluster();
   c.disk_capacity = 100.0 * kMB;
   ExecutionEngine eng(c, w);
-  auto stats = eng.execute(all_on(w, 0));
+  auto stats = eng.execute(all_on(w, 0)).value();
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.remote_transfers, 2u);
 }
@@ -307,7 +307,9 @@ TEST(Engine, RestageCountsEvictedFileFetchedAgain) {
 
   ClusterConfig c = tiny_cluster();
   c.disk_capacity = 100.0 * kMB;
-  ExecutionEngine eng(c, w, {EvictionPolicy::kLru});
+  EngineOptions lru_opts;
+  lru_opts.eviction = EvictionPolicy::kLru;
+  ExecutionEngine eng(c, w, lru_opts);
   SubBatchPlan p1;
   p1.tasks = {0, 1};
   p1.assignment[0] = 0;
@@ -315,8 +317,8 @@ TEST(Engine, RestageCountsEvictedFileFetchedAgain) {
   SubBatchPlan p2;
   p2.tasks = {2};
   p2.assignment[2] = 0;
-  auto s1 = eng.execute(p1);
-  auto s2 = eng.execute(p2);
+  auto s1 = eng.execute(p1).value();
+  auto s2 = eng.execute(p2).value();
   EXPECT_EQ(s1.remote_transfers, 2u);
   EXPECT_EQ(s1.evictions, 1u);  // file 0 evicted to admit file 1
   EXPECT_EQ(s2.evictions, 1u);  // file 1 evicted to re-admit file 0
@@ -336,9 +338,9 @@ TEST(Engine, MakespanMonotonicAcrossSubBatches) {
     p2.tasks.push_back(t);
     p2.assignment[t] = t % 2;
   }
-  eng.execute(p1);
+  ASSERT_TRUE(eng.execute(p1).ok());
   double m1 = eng.makespan();
-  eng.execute(p2);
+  ASSERT_TRUE(eng.execute(p2).ok());
   EXPECT_GE(eng.makespan(), m1);
   EXPECT_EQ(eng.totals().tasks_executed, 12u);
 }
@@ -348,7 +350,7 @@ TEST(Engine, EveryRequestedFileRemotelyTransferredAtLeastOnce) {
   ExecutionEngine eng(tiny_cluster(), w);
   SubBatchPlan p = all_on(w, 0);
   for (auto& [t, n] : p.assignment) n = t % 2;
-  auto stats = eng.execute(p);
+  auto stats = eng.execute(p).value();
   std::size_t requested = 0;
   for (const auto& f : w.files())
     if (!w.tasks_of_file(f.id).empty()) ++requested;
@@ -359,7 +361,7 @@ TEST(Engine, PendingRequestsDrainToZero) {
   wl::Workload w = tiny_workload(10, 3, 0.4, 3);
   ExecutionEngine eng(tiny_cluster(), w);
   SubBatchPlan p = all_on(w, 0);
-  eng.execute(p);
+  ASSERT_TRUE(eng.execute(p).ok());
   for (const auto& f : w.files())
     EXPECT_DOUBLE_EQ(eng.pending_requests(f.id), 0.0);
 }
@@ -371,7 +373,7 @@ TEST(Engine, TimelinesNeverOverlap) {
   ExecutionEngine eng(c, w);
   SubBatchPlan p = all_on(w, 0);
   for (auto& [t, n] : p.assignment) n = t % 2;
-  eng.execute(p);
+  ASSERT_TRUE(eng.execute(p).ok());
   for (std::size_t s = 0; s < c.num_storage_nodes; ++s)
     eng.storage_timeline(s).validate();
   for (std::size_t n = 0; n < c.num_compute_nodes; ++n)
@@ -385,8 +387,8 @@ TEST(Cluster, Presets) {
   EXPECT_DOUBLE_EQ(osumed.remote_bw(), 12.5 * kMB);
   EXPECT_EQ(osumed.num_compute_nodes, 8u);
   EXPECT_GT(osumed.replica_bw(), osumed.remote_bw());
-  xio.validate();
-  osumed.validate();
+  EXPECT_TRUE(xio.validate().ok());
+  EXPECT_TRUE(osumed.validate().ok());
 }
 
 }  // namespace

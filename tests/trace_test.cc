@@ -37,7 +37,7 @@ sim::SubBatchPlan spread_plan(const wl::Workload& w, std::size_t nodes) {
 TEST(Trace, DisabledByDefault) {
   wl::Workload w = trace_workload();
   sim::ExecutionEngine eng(sim::xio_cluster(2, 2), w);
-  eng.execute(spread_plan(w, 2));
+  ASSERT_TRUE(eng.execute(spread_plan(w, 2)).ok());
   EXPECT_TRUE(eng.trace().empty());
 }
 
@@ -46,7 +46,7 @@ TEST(Trace, EventsMatchStats) {
   sim::EngineOptions opts;
   opts.trace = true;
   sim::ExecutionEngine eng(sim::xio_cluster(2, 2), w, opts);
-  auto stats = eng.execute(spread_plan(w, 2));
+  auto stats = eng.execute(spread_plan(w, 2)).value();
 
   std::size_t remote = 0, replica = 0, exec = 0;
   for (const auto& e : eng.trace()) {
@@ -60,6 +60,8 @@ TEST(Trace, EventsMatchStats) {
       case sim::TraceEvent::Kind::kExec:
         ++exec;
         break;
+      case sim::TraceEvent::Kind::kFailedTransfer:
+        break;
     }
   }
   EXPECT_EQ(remote, stats.remote_transfers);
@@ -72,7 +74,7 @@ TEST(Trace, EventsAreWellFormedAndWithinMakespan) {
   sim::EngineOptions opts;
   opts.trace = true;
   sim::ExecutionEngine eng(sim::xio_cluster(3, 2), w, opts);
-  eng.execute(spread_plan(w, 3));
+  ASSERT_TRUE(eng.execute(spread_plan(w, 3)).ok());
   for (const auto& e : eng.trace()) {
     EXPECT_LT(e.start, e.end);
     EXPECT_LE(e.end, eng.makespan() + 1e-9);
@@ -94,7 +96,7 @@ TEST(Trace, PerDestinationEventsDoNotOverlap) {
   sim::EngineOptions opts;
   opts.trace = true;
   sim::ExecutionEngine eng(sim::xio_cluster(2, 2), w, opts);
-  eng.execute(spread_plan(w, 2));
+  ASSERT_TRUE(eng.execute(spread_plan(w, 2)).ok());
 
   std::map<wl::NodeId, std::vector<std::pair<double, double>>> per_node;
   for (const auto& e : eng.trace()) per_node[e.dst].push_back({e.start, e.end});
@@ -111,7 +113,7 @@ TEST(Trace, CsvRendering) {
   sim::EngineOptions opts;
   opts.trace = true;
   sim::ExecutionEngine eng(sim::xio_cluster(2, 2), w, opts);
-  eng.execute(spread_plan(w, 2));
+  ASSERT_TRUE(eng.execute(spread_plan(w, 2)).ok());
   std::string csv = sim::trace_to_csv(eng.trace());
   EXPECT_NE(csv.find("kind,task,file,src,dst,start,end"), std::string::npos);
   EXPECT_NE(csv.find("remote"), std::string::npos);
