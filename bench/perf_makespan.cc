@@ -1,0 +1,223 @@
+// Planning-performance harness for the parallel scheduling core.
+//
+// Times every scheduler's planning loop across batch sizes and thread
+// counts on a synthetic overlap-controlled workload, verifies that the
+// resulting plans are bit-identical to the single-thread run (the pool's
+// determinism contract), and emits BENCH_sched.json — the repo's perf
+// trajectory record: planning wall-time, simulated makespan, and speedup
+// vs 1 thread per (scheduler, batch size, thread count) cell.
+//
+//   perf_makespan [--smoke] [--out <path>]
+//
+// --smoke shrinks the grid for CI (small batches, 1-2 threads).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sched/bipartition.h"
+#include "sched/driver.h"
+#include "sched/ip_scheduler.h"
+#include "sched/job_data_present.h"
+#include "sched/minmin.h"
+#include "sim/cluster.h"
+#include "util/thread_pool.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace bsio;
+
+struct Row {
+  std::string scheduler;
+  std::size_t tasks = 0;
+  std::size_t nodes = 0;
+  std::size_t threads = 0;
+  double planning_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double speedup_vs_1t = 0.0;
+  bool bit_identical = true;  // plan outcome matches the 1-thread run
+};
+
+struct SchedulerSpec {
+  std::string label;
+  // IP solves are only affordable on small instances; cap the batch size.
+  std::size_t max_tasks;
+  std::unique_ptr<sched::Scheduler> (*make)();
+};
+
+std::unique_ptr<sched::Scheduler> make_minmin_exact() {
+  // Threshold above any bench size: always the exact O(T^2 N F) path.
+  return std::make_unique<sched::MinMinScheduler>(1u << 20);
+}
+std::unique_ptr<sched::Scheduler> make_minmin_lazy() {
+  return std::make_unique<sched::MinMinScheduler>(0);  // always lazy
+}
+std::unique_ptr<sched::Scheduler> make_jdp() {
+  return std::make_unique<sched::JobDataPresentScheduler>();
+}
+std::unique_ptr<sched::Scheduler> make_bipartition() {
+  return std::make_unique<sched::BiPartitionScheduler>();
+}
+std::unique_ptr<sched::Scheduler> make_ip() {
+  sched::IpSchedulerOptions o = sched::IpScheduler::default_options();
+  o.selection_mip.time_limit_seconds = 2.0;
+  o.allocation_mip.time_limit_seconds = 2.0;
+  return std::make_unique<sched::IpScheduler>(o);
+}
+
+wl::Workload bench_workload(std::size_t tasks, std::size_t storage_nodes) {
+  wl::SyntheticConfig cfg;
+  cfg.num_tasks = tasks;
+  cfg.files_per_task = 8;
+  cfg.overlap = 0.85;
+  cfg.file_size_bytes = 50.0 * sim::kMB;
+  cfg.num_storage_nodes = storage_nodes;
+  cfg.seed = 7;
+  return wl::make_synthetic(cfg);
+}
+
+sim::ClusterConfig bench_cluster(std::size_t compute_nodes,
+                                 std::size_t storage_nodes) {
+  sim::ClusterConfig c;
+  c.num_compute_nodes = compute_nodes;
+  c.num_storage_nodes = storage_nodes;
+  c.storage_disk_bw = 50.0 * sim::kMB;
+  c.storage_net_bw = 500.0 * sim::kMB;
+  c.compute_net_bw = 400.0 * sim::kMB;
+  c.local_disk_bw = 200.0 * sim::kMB;
+  return c;
+}
+
+void write_json(const char* path, const std::vector<Row>& rows,
+                std::size_t compute_nodes, bool smoke) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_makespan: cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_makespan\",\n");
+  std::fprintf(f, "  \"config\": {\n");
+  std::fprintf(f, "    \"workload\": \"synthetic overlap=0.85 files_per_task=8 seed=7\",\n");
+  std::fprintf(f, "    \"compute_nodes\": %zu,\n", compute_nodes);
+  // Speedups are bounded by the host: a 1-core machine shows ~1x at every
+  // thread count (plus dispatch overhead), while plans stay bit-identical.
+  std::fprintf(f, "    \"host_cpus\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"smoke\": %s\n", smoke ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"scheduler\": \"%s\", \"tasks\": %zu, \"nodes\": %zu, "
+        "\"threads\": %zu, \"planning_seconds\": %.6f, "
+        "\"makespan_seconds\": %.6f, \"speedup_vs_1t\": %.3f, "
+        "\"bit_identical\": %s}%s\n",
+        r.scheduler.c_str(), r.tasks, r.nodes, r.threads, r.planning_seconds,
+        r.makespan_seconds, r.speedup_vs_1t, r.bit_identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_sched.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+
+  const std::size_t compute_nodes = smoke ? 8 : 32;
+  const std::size_t storage_nodes = 4;
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{32, 64}
+            : std::vector<std::size_t>{64, 128, 256, 512};
+  std::vector<std::size_t> threads = smoke ? std::vector<std::size_t>{1, 2}
+                                           : std::vector<std::size_t>{1, 2, 4, 8};
+
+  const std::vector<SchedulerSpec> specs = {
+      {"MinMin-exact", static_cast<std::size_t>(-1), &make_minmin_exact},
+      {"MinMin-lazy", static_cast<std::size_t>(-1), &make_minmin_lazy},
+      {"JobDataPresent", static_cast<std::size_t>(-1), &make_jdp},
+      {"BiPartition", static_cast<std::size_t>(-1), &make_bipartition},
+      {"IP", 64, &make_ip},
+  };
+
+  const sim::ClusterConfig cluster = bench_cluster(compute_nodes, storage_nodes);
+
+  std::printf("perf_makespan: %zu compute nodes, thread sweep {", compute_nodes);
+  for (std::size_t t : threads) std::printf(" %zu", t);
+  std::printf(" }%s\n\n", smoke ? " (smoke)" : "");
+  std::printf("%-16s %6s %8s %12s %12s %8s %5s\n", "scheduler", "tasks",
+              "threads", "plan [s]", "makespan [s]", "speedup", "same");
+
+  std::vector<Row> rows;
+  for (const auto& spec : specs) {
+    for (std::size_t tasks : sizes) {
+      if (tasks > spec.max_tasks) continue;
+      const wl::Workload w = bench_workload(tasks, storage_nodes);
+      double base_planning = 0.0;
+      double base_makespan = 0.0;
+      std::size_t base_transfers = 0;
+      for (std::size_t t : threads) {
+        ThreadPool::set_global_threads(t);
+        auto scheduler = spec.make();
+        const sched::BatchRunResult r = sched::run_batch(*scheduler, w, cluster);
+        if (!r.ok()) {
+          std::fprintf(stderr, "perf_makespan: %s failed: %s\n",
+                       spec.label.c_str(), r.error.c_str());
+          return 1;
+        }
+        Row row;
+        row.scheduler = spec.label;
+        row.tasks = tasks;
+        row.nodes = compute_nodes;
+        row.threads = t;
+        row.planning_seconds = r.scheduling_seconds;
+        row.makespan_seconds = r.batch_time;
+        if (t == threads.front()) {
+          base_planning = r.scheduling_seconds;
+          base_makespan = r.batch_time;
+          base_transfers = r.stats.remote_transfers;
+        }
+        row.speedup_vs_1t =
+            r.scheduling_seconds > 0.0 ? base_planning / r.scheduling_seconds
+                                       : 1.0;
+        // The determinism contract: same plans => bit-equal simulated
+        // makespan and identical transfer counts at every thread count.
+        row.bit_identical = r.batch_time == base_makespan &&
+                            r.stats.remote_transfers == base_transfers;
+        std::printf("%-16s %6zu %8zu %12.4f %12.2f %7.2fx %5s\n",
+                    row.scheduler.c_str(), row.tasks, row.threads,
+                    row.planning_seconds, row.makespan_seconds,
+                    row.speedup_vs_1t, row.bit_identical ? "yes" : "NO");
+        std::fflush(stdout);
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  write_json(out_path, rows, compute_nodes, smoke);
+  std::printf("\nwrote %s (%zu rows)\n", out_path, rows.size());
+
+  bool all_identical = true;
+  for (const Row& r : rows) all_identical = all_identical && r.bit_identical;
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "perf_makespan: plans diverged across thread counts!\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "hypergraph/metrics.h"
+#include "util/thread_pool.h"
 
 namespace bsio::hg {
 
@@ -81,8 +82,16 @@ class FmPass {
     gain_.assign(nv, 0.0);
     tie_.assign(nv, 0.0);
     heap_ = {};
+    // Initial gains are pure functions of the (frozen) pin counts, so the
+    // per-vertex computation fans out on the thread pool; the rng draws and
+    // heap pushes stay sequential in vertex order, keeping every pass
+    // bit-identical at any thread count. When this pass already runs inside
+    // a parallel recursive-bisection branch the pool degrades to inline.
+    ThreadPool::global().parallel_for_each(
+        nv, [this](std::size_t v) {
+          gain_[v] = compute_gain(static_cast<VertexId>(v));
+        });
     for (VertexId v = 0; v < nv; ++v) {
-      gain_[v] = compute_gain(v);
       tie_[v] = rng_.uniform_double();
       heap_.push({gain_[v], tie_[v], v});
     }

@@ -37,10 +37,10 @@ hg::Hypergraph build_hypergraph(const wl::Workload& w,
 std::vector<wl::NodeId> bipartition_map_tasks(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
     const sim::ClusterConfig& cluster, const BiPartitionOptions& options,
-    const std::vector<wl::NodeId>& nodes) {
+    const std::vector<wl::NodeId>& nodes, ExecTimeScratch* scratch) {
   const auto weights =
       options.probabilistic_weights
-          ? probabilistic_exec_times(w, tasks, cluster)
+          ? probabilistic_exec_times(w, tasks, cluster, scratch)
           : plain_exec_times(w, tasks, cluster);
   hg::Hypergraph h = build_hypergraph(w, tasks, weights);
   const std::size_t k =
@@ -73,7 +73,7 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
     const double bound = aggregate * options_.aggregate_bound_fraction;
     const auto weights =
         options_.probabilistic_weights
-            ? probabilistic_exec_times(w, pending, cluster)
+            ? probabilistic_exec_times(w, pending, cluster, &exec_scratch_)
             : plain_exec_times(w, pending, cluster);
     hg::Hypergraph h = build_hypergraph(w, pending, weights);
     hg::BinwResult binw = hg::partition_binw(h, bound, options_.partitioner);
@@ -93,8 +93,8 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
   }
 
   // --- Level 2: K-way task mapping onto the surviving nodes. ---
-  std::vector<wl::NodeId> map =
-      bipartition_map_tasks(w, sub_batch, cluster, options_, nodes);
+  std::vector<wl::NodeId> map = bipartition_map_tasks(
+      w, sub_batch, cluster, options_, nodes, &exec_scratch_);
 
   sim::SubBatchPlan plan;
   plan.tasks = sub_batch;

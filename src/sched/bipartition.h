@@ -14,6 +14,7 @@
 #pragma once
 
 #include "hypergraph/partitioner.h"
+#include "sched/cost_model.h"
 #include "sched/scheduler.h"
 
 namespace bsio::sched {
@@ -38,15 +39,20 @@ class BiPartitionScheduler : public Scheduler {
 
  private:
   BiPartitionOptions options_;
+  // Sharer-count scratch reused across the level-1 and level-2 weight
+  // computations of every round.
+  ExecTimeScratch exec_scratch_;
 };
 
 // Exposed for tests and for the IP scheduler's warm start: the level-2
 // mapping of `tasks` onto the compute nodes (indices into `tasks` -> node).
 // `nodes` restricts the mapping to a subset of the compute nodes (the alive
-// ones under fault injection); empty means all of them.
+// ones under fault injection); empty means all of them. `scratch` may be
+// null.
 std::vector<wl::NodeId> bipartition_map_tasks(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
     const sim::ClusterConfig& cluster, const BiPartitionOptions& options,
-    const std::vector<wl::NodeId>& nodes = {});
+    const std::vector<wl::NodeId>& nodes = {},
+    ExecTimeScratch* scratch = nullptr);
 
 }  // namespace bsio::sched

@@ -1,7 +1,7 @@
 #include "sched/cost_model.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
 
 #include "sim/state.h"
 #include "util/check.h"
@@ -10,11 +10,19 @@ namespace bsio::sched {
 
 std::vector<double> probabilistic_exec_times(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-    const sim::ClusterConfig& c) {
-  // Sharing degree s_j within the sub-batch.
-  std::unordered_map<wl::FileId, double> sharers;
+    const sim::ClusterConfig& c, ExecTimeScratch* scratch) {
+  // Sharing degree s_j within the sub-batch, in a dense per-file buffer.
+  // The scratch is left all-zero on exit so repeated calls (the BiPartition
+  // level-1/level-2 loops) never refill or rehash a map.
+  ExecTimeScratch local;
+  ExecTimeScratch& s = scratch ? *scratch : local;
+  if (s.sharers.size() < w.num_files()) s.sharers.resize(w.num_files(), 0.0);
+  BSIO_DCHECK(s.touched.empty());
   for (wl::TaskId t : tasks)
-    for (wl::FileId f : w.task(t).files) sharers[f] += 1.0;
+    for (wl::FileId f : w.task(t).files) {
+      if (s.sharers[f] == 0.0) s.touched.push_back(f);
+      s.sharers[f] += 1.0;
+    }
 
   const double T = static_cast<double>(tasks.size());
   const double K = static_cast<double>(c.num_compute_nodes);
@@ -27,7 +35,7 @@ std::vector<double> probabilistic_exec_times(
   for (wl::TaskId t : tasks) {
     double exec = w.task(t).compute_seconds;
     for (wl::FileId f : w.task(t).files) {
-      const double s_j = sharers[f];
+      const double s_j = s.sharers[f];
       const double p_fne = 1.0 / s_j;             // first to need the file
       const double p_fe = (s_j / T) * (1.0 / K);  // already on my node
       const double tr =
@@ -36,6 +44,9 @@ std::vector<double> probabilistic_exec_times(
     }
     out.push_back(exec);
   }
+
+  for (wl::FileId f : s.touched) s.sharers[f] = 0.0;
+  s.touched.clear();
   return out;
 }
 
@@ -54,26 +65,54 @@ std::vector<double> plain_exec_times(const wl::Workload& w,
 }
 
 PlannerState::PlannerState(const wl::Workload& w, const sim::ClusterConfig& c,
-                           const sim::ClusterState& current)
-    : node_ready(c.num_compute_nodes, 0.0),
-      storage_ready(c.num_storage_nodes, 0.0),
-      planned(w.num_files()) {
+                           const sim::ClusterState& current) {
+  reset(w, c, current);
+}
+
+void PlannerState::reset(const wl::Workload& w, const sim::ClusterConfig& c,
+                         const sim::ClusterState& current) {
+  node_ready.assign(c.num_compute_nodes, 0.0);
+  storage_ready.assign(c.num_storage_nodes, 0.0);
+  uplink_ready = 0.0;
+
+  planned.resize(w.num_files());
+  for (auto& holders : planned) holders.clear();
+  node_files.resize(c.num_compute_nodes);
+  for (auto& files : node_files) files.clear();
+
+  const std::size_t want = w.num_files() * c.num_compute_nodes;
+  if (present_.size() < want ||
+      num_nodes_ != static_cast<std::size_t>(c.num_compute_nodes) ||
+      epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    present_.assign(want, 0);
+    epoch_ = 0;
+  }
+  num_nodes_ = c.num_compute_nodes;
+  ++epoch_;  // one bump invalidates every stale stamp
+
   for (wl::FileId f = 0; f < w.num_files(); ++f)
     for (wl::NodeId n : current.holders(f))
-      planned[f].push_back({n, current.available_at(n, f)});
+      add_planned(f, n, current.available_at(n, f));
 }
 
-bool PlannerState::on_node(wl::FileId f, wl::NodeId n) const {
-  for (const auto& [node, avail] : planned[f])
-    if (node == n) return true;
-  return false;
+void PlannerState::add_planned(wl::FileId f, wl::NodeId n, double avail) {
+  auto& stamp = present_[static_cast<std::size_t>(f) * num_nodes_ + n];
+  if (stamp == epoch_) return;
+  stamp = epoch_;
+  planned[f].push_back({n, avail});
+  node_files[n].push_back(f);
 }
 
-CompletionEstimate estimate_completion(const wl::Workload& w,
-                                       const sim::ClusterConfig& c,
-                                       const PlannerState& ps,
-                                       wl::TaskId task, wl::NodeId node) {
-  CompletionEstimate est;
+namespace {
+
+// Single source of truth for the MCT arithmetic. estimate_completion
+// instantiates it with kRecordStages = true, estimate_completion_time with
+// false; the completion value is bit-identical between the two because the
+// floating-point operations are literally the same instructions.
+template <bool kRecordStages>
+double estimate_core(const wl::Workload& w, const sim::ClusterConfig& c,
+                     const PlannerState& ps, wl::TaskId task, wl::NodeId node,
+                     CompletionEstimate* est) {
   const auto& info = w.task(task);
   double cursor = ps.node_ready[node];
   const double start = cursor;
@@ -100,13 +139,29 @@ CompletionEstimate estimate_completion(const wl::Workload& w,
         }
       }
     }
-    est.stages.push_back(stage);
+    if constexpr (kRecordStages) est->stages.push_back(stage);
     cursor = best_arrival;
   }
-  est.transfer_seconds = cursor - start;
-  est.completion =
-      cursor + read_bytes / c.local_disk_bw + info.compute_seconds;
+  if constexpr (kRecordStages) est->transfer_seconds = cursor - start;
+  return cursor + read_bytes / c.local_disk_bw + info.compute_seconds;
+}
+
+}  // namespace
+
+CompletionEstimate estimate_completion(const wl::Workload& w,
+                                       const sim::ClusterConfig& c,
+                                       const PlannerState& ps,
+                                       wl::TaskId task, wl::NodeId node) {
+  CompletionEstimate est;
+  est.completion = estimate_core<true>(w, c, ps, task, node, &est);
   return est;
+}
+
+double estimate_completion_time(const wl::Workload& w,
+                                const sim::ClusterConfig& c,
+                                const PlannerState& ps, wl::TaskId task,
+                                wl::NodeId node) {
+  return estimate_core<false>(w, c, ps, task, node, nullptr);
 }
 
 void apply_assignment(const wl::Workload& /*w*/, const sim::ClusterConfig& c,
@@ -121,8 +176,7 @@ void apply_assignment(const wl::Workload& /*w*/, const sim::ClusterConfig& c,
       ps.node_ready[s.src] = std::max(ps.node_ready[s.src], s.arrival);
     }
     // Implicit replication: every staged copy becomes a future source.
-    if (!ps.on_node(s.file, node))
-      ps.planned[s.file].push_back({node, s.arrival});
+    ps.add_planned(s.file, node, s.arrival);
   }
   ps.node_ready[node] = est.completion;
 }

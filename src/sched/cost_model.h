@@ -5,8 +5,15 @@
 // hypergraph vertex weights by the BiPartition scheduler (and as an
 // ablation toggle). estimate_completion is the MCT-style estimate MinMin
 // and JobDataPresent plan against.
+//
+// Concurrency contract: estimate_completion / estimate_completion_time take
+// the PlannerState by const reference and perform no mutation, so any number
+// of threads may evaluate candidate (task, node) pairs against one shared
+// state concurrently. All mutation (apply_assignment, add_planned, reset)
+// must happen on a single thread between those read-only sweeps.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/cluster.h"
@@ -15,14 +22,26 @@
 
 namespace bsio::sched {
 
+// Reusable scratch for probabilistic_exec_times: a dense per-file sharer
+// counter (plus the list of touched files, so clearing costs O(touched)
+// instead of O(num_files)). Callers that evaluate many sub-batches — the
+// BiPartition level-1/level-2 loops — keep one of these alive to avoid
+// rebuilding a hash map per call.
+struct ExecTimeScratch {
+  std::vector<double> sharers;      // indexed by FileId; 0 between calls
+  std::vector<wl::FileId> touched;  // files with a nonzero entry
+};
+
 // Eq. 25-26 expected execution time of every task in `tasks`, where file
 // sharing degrees s_j are counted within `tasks` only and T = |tasks|,
 // K = number of compute nodes. Entries align with `tasks`. The task's
 // measured compute_seconds stands in for the paper's per-byte compute
 // constant C (the emulators derive one from the other linearly).
+// `scratch` may be null (a local buffer is used).
 std::vector<double> probabilistic_exec_times(const wl::Workload& w,
                                              const std::vector<wl::TaskId>& tasks,
-                                             const sim::ClusterConfig& c);
+                                             const sim::ClusterConfig& c,
+                                             ExecTimeScratch* scratch = nullptr);
 
 // Plain vertex weights (compute + local read only), the ablation
 // counterpart of the probabilistic weights.
@@ -33,17 +52,48 @@ std::vector<double> plain_exec_times(const wl::Workload& w,
 // Planner bookkeeping for MCT estimates: estimated ready times of every
 // port plus planned file locations. MinMin / JDP mutate one of these as
 // they build their assignment.
+//
+// Replica presence is tracked three ways, kept in sync by add_planned:
+//  - planned[f]: the live holder list (node, availability) that replica-
+//    source scans iterate — only actual holders, never all nodes;
+//  - node_files[n]: the per-node replica list, for per-node load accounting
+//    (JobDataPresent's Data Least Loaded placement);
+//  - an epoch-stamped per-(file, node) presence bitmap making on_node O(1).
+//    The epoch stamp lets reset() invalidate the whole bitmap by bumping a
+//    counter instead of refilling num_files * num_nodes entries, so a
+//    scheduler can reuse one PlannerState across sub-batch rounds.
 struct PlannerState {
   std::vector<double> node_ready;     // per compute node
   std::vector<double> storage_ready;  // per storage node
   double uplink_ready = 0.0;
-  // planned_location[f] = nodes expected to hold f, with availability time.
+  // planned[f] = nodes expected to hold f, with availability time.
+  // Read-only for planners; mutate via add_planned.
   std::vector<std::vector<std::pair<wl::NodeId, double>>> planned;
+  // node_files[n] = files planned on compute node n (same entries as
+  // `planned`, transposed).
+  std::vector<std::vector<wl::FileId>> node_files;
 
+  PlannerState() = default;
   PlannerState(const wl::Workload& w, const sim::ClusterConfig& c,
                const sim::ClusterState& current);
 
-  bool on_node(wl::FileId f, wl::NodeId n) const;
+  // Re-initializes against a (possibly different) workload / cluster /
+  // cache state, reusing the allocated buffers.
+  void reset(const wl::Workload& w, const sim::ClusterConfig& c,
+             const sim::ClusterState& current);
+
+  // Records that node n is planned to hold file f from time `avail` on.
+  // No-op if already present.
+  void add_planned(wl::FileId f, wl::NodeId n, double avail);
+
+  bool on_node(wl::FileId f, wl::NodeId n) const {
+    return present_[static_cast<std::size_t>(f) * num_nodes_ + n] == epoch_;
+  }
+
+ private:
+  std::vector<std::uint32_t> present_;  // epoch stamps, file-major
+  std::uint32_t epoch_ = 0;
+  std::size_t num_nodes_ = 0;
 };
 
 struct CompletionEstimate {
@@ -66,6 +116,15 @@ CompletionEstimate estimate_completion(const wl::Workload& w,
                                        const sim::ClusterConfig& c,
                                        const PlannerState& ps,
                                        wl::TaskId task, wl::NodeId node);
+
+// Completion time only — the exact same arithmetic as estimate_completion
+// (both instantiate one shared core) without recording stages, so the hot
+// parallel sweeps allocate nothing. estimate_completion(...).completion is
+// bit-identical to this value.
+double estimate_completion_time(const wl::Workload& w,
+                                const sim::ClusterConfig& c,
+                                const PlannerState& ps, wl::TaskId task,
+                                wl::NodeId node);
 
 // Applies the estimate: bumps port readies and records new file locations.
 void apply_assignment(const wl::Workload& w, const sim::ClusterConfig& c,

@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace bsio::sched {
@@ -14,6 +15,7 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                          const sim::FaultConfig& faults) {
   BatchRunResult result;
   result.scheduler = scheduler.name();
+  result.planning_threads = ThreadPool::global().num_threads();
 
   if (const Status v = cluster.validate(); !v.ok()) {
     result.error = v.error().message;
@@ -51,9 +53,10 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                                            plan.tasks.end());
     BSIO_CHECK_MSG(planned.size() == plan.tasks.size(),
                    "sub-batch plan repeats tasks");
+    const std::unordered_set<wl::TaskId> pending_set(pending.begin(),
+                                                     pending.end());
     for (wl::TaskId t : plan.tasks)
-      BSIO_CHECK_MSG(std::find(pending.begin(), pending.end(), t) !=
-                         pending.end(),
+      BSIO_CHECK_MSG(pending_set.count(t) > 0,
                      "sub-batch plan names a non-pending task");
 
     auto executed = engine.execute(plan);

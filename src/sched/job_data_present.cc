@@ -6,6 +6,7 @@
 
 #include "sched/cost_model.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace bsio::sched {
 
@@ -13,7 +14,8 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& c = ctx.cluster;
-  PlannerState ps(w, c, ctx.engine.state());
+  ps_.reset(w, c, ctx.engine.state());
+  PlannerState& ps = ps_;
   const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
   BSIO_CHECK_MSG(!nodes.empty(), "JobDataPresent: no compute node is alive");
 
@@ -29,10 +31,11 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
     for (wl::TaskId t : pending)
       for (wl::FileId f : w.task(t).files) popularity[f] += 1.0;
 
-    // Planned load per node = bytes of files it is slated to hold.
+    // Planned load per node = bytes of files it is slated to hold, read
+    // straight off the per-node replica lists.
     std::vector<double> load(c.num_compute_nodes, 0.0);
-    for (wl::FileId f = 0; f < w.num_files(); ++f)
-      for (const auto& [n, avail] : ps.planned[f]) load[n] += w.file_size(f);
+    for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n)
+      for (wl::FileId f : ps.node_files[n]) load[n] += w.file_size(f);
 
     std::vector<std::pair<double, wl::FileId>> hot;
     for (const auto& [f, pop] : popularity)
@@ -51,22 +54,29 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
       }
       if (dst == wl::kInvalidNode) continue;
       plan.prefetches.push_back({f, dst});
-      ps.planned[f].push_back({dst, 0.0});
+      ps.add_planned(f, dst, 0.0);
       load[dst] += w.file_size(f);
     }
   }
 
   // --- Queue order: least expected earliest completion time, computed once
   // up front (the paper's replacement for [13]'s FIFO; JDP stays a cheap
-  // one-pass dynamic scheme, unlike MinMin's quadratic re-evaluation). ---
+  // one-pass dynamic scheme, unlike MinMin's quadratic re-evaluation). Each
+  // task's candidate-node evaluation is independent and read-only against
+  // ps, so the sweep runs on the thread pool; the per-task min over nodes
+  // and the sort stay in the historical order, keeping plans bit-identical
+  // at any thread count. ---
+  std::vector<double> ect(pending.size());
+  ThreadPool::global().parallel_for_each(pending.size(), [&](std::size_t i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (wl::NodeId n : nodes)
+      best = std::min(best, estimate_completion_time(w, c, ps, pending[i], n));
+    ect[i] = best;
+  });
   std::vector<std::pair<double, wl::TaskId>> queue;
   queue.reserve(pending.size());
-  for (wl::TaskId t : pending) {
-    double ect = std::numeric_limits<double>::infinity();
-    for (wl::NodeId n : nodes)
-      ect = std::min(ect, estimate_completion(w, c, ps, t, n).completion);
-    queue.push_back({ect, t});
-  }
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    queue.push_back({ect[i], pending[i]});
   std::sort(queue.begin(), queue.end());
 
   // --- Job Data Present assignment: eligible nodes are those already

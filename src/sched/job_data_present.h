@@ -14,6 +14,7 @@
 // Pairs with LRU eviction, as in [13].
 #pragma once
 
+#include "sched/cost_model.h"
 #include "sched/scheduler.h"
 
 namespace bsio::sched {
@@ -40,6 +41,7 @@ class JobDataPresentScheduler : public Scheduler {
 
  private:
   JdpOptions options_;
+  PlannerState ps_;  // reused across rounds (epoch-stamped reset)
 };
 
 }  // namespace bsio::sched

@@ -1,40 +1,43 @@
 #include "sched/minmin.h"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <queue>
 #include <utility>
+#include <vector>
 
 #include "sched/cost_model.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace bsio::sched {
 
 namespace {
 
-// Best (node, estimate) of a task against the current planner state,
-// considering only `nodes` (the alive compute nodes).
-std::pair<wl::NodeId, CompletionEstimate> best_node_for(
-    const wl::Workload& w, const sim::ClusterConfig& c,
-    const PlannerState& ps, wl::TaskId task,
-    const std::vector<wl::NodeId>& nodes) {
+// Folds per-node completion times exactly like the historical sequential
+// scan: a candidate wins on strict improvement beyond the relative
+// tolerance; near-ties (storage-dominated estimates make nodes look alike)
+// go to the least-loaded node, as in classic MinMin; remaining ties to the
+// earlier node. `ct[j]` must be estimate_completion_time on nodes[j].
+std::pair<wl::NodeId, double> fold_best_node(
+    const PlannerState& ps, const std::vector<wl::NodeId>& nodes,
+    const double* ct) {
   wl::NodeId best_node = nodes.front();
-  CompletionEstimate best_est;
-  best_est.completion = std::numeric_limits<double>::infinity();
-  for (wl::NodeId n : nodes) {
-    CompletionEstimate est = estimate_completion(w, c, ps, task, n);
-    const bool first = std::isinf(best_est.completion);
-    const double tol = first ? 0.0 : 1e-9 * (1.0 + best_est.completion);
+  double best_ct = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    const bool first = std::isinf(best_ct);
+    const double tol = first ? 0.0 : 1e-9 * (1.0 + best_ct);
     const bool better =
-        first || est.completion < best_est.completion - tol ||
-        (est.completion < best_est.completion + tol &&
-         ps.node_ready[n] < ps.node_ready[best_node] - 1e-12);
+        first || ct[j] < best_ct - tol ||
+        (ct[j] < best_ct + tol &&
+         ps.node_ready[nodes[j]] < ps.node_ready[best_node] - 1e-12);
     if (better) {
-      best_node = n;
-      best_est = std::move(est);
+      best_node = nodes[j];
+      best_ct = ct[j];
     }
   }
-  return {best_node, std::move(best_est)};
+  return {best_node, best_ct};
 }
 
 // Lazy-heap MinMin for large batches.
@@ -42,27 +45,41 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w,
                             const sim::ClusterConfig& c, PlannerState& ps,
                             const std::vector<wl::TaskId>& pending,
                             const std::vector<wl::NodeId>& nodes) {
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t N = nodes.size();
   sim::SubBatchPlan plan;
   struct Entry {
     double ct;
     wl::TaskId task;
     bool operator<(const Entry& o) const { return ct > o.ct; }  // min-heap
   };
+
+  // Initial sweep: every task's per-node estimates in parallel (read-only
+  // against ps), heap built sequentially in pending order.
+  std::vector<double> ct(pending.size() * N);
+  pool.parallel_for_each(pending.size(), [&](std::size_t i) {
+    for (std::size_t j = 0; j < N; ++j)
+      ct[i * N + j] = estimate_completion_time(w, c, ps, pending[i], nodes[j]);
+  });
   std::priority_queue<Entry> heap;
-  for (wl::TaskId t : pending)
-    heap.push({best_node_for(w, c, ps, t, nodes).second.completion, t});
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    heap.push({fold_best_node(ps, nodes, &ct[i * N]).second, pending[i]});
 
   std::vector<bool> done(w.num_tasks(), false);
+  std::vector<double> row(N);
   while (!heap.empty()) {
     Entry e = heap.top();
     heap.pop();
     if (done[e.task]) continue;
-    auto [node, est] = best_node_for(w, c, ps, e.task, nodes);
-    if (!heap.empty() &&
-        est.completion > heap.top().ct + 1e-9 * (1.0 + est.completion)) {
-      heap.push({est.completion, e.task});  // stale; retry later
+    pool.parallel_for_each(N, [&](std::size_t j) {
+      row[j] = estimate_completion_time(w, c, ps, e.task, nodes[j]);
+    });
+    auto [node, best_ct] = fold_best_node(ps, nodes, row.data());
+    if (!heap.empty() && best_ct > heap.top().ct + 1e-9 * (1.0 + best_ct)) {
+      heap.push({best_ct, e.task});  // stale; retry later
       continue;
     }
+    CompletionEstimate est = estimate_completion(w, c, ps, e.task, node);
     apply_assignment(w, c, ps, e.task, node, est);
     plan.tasks.push_back(e.task);
     plan.assignment[e.task] = node;
@@ -77,45 +94,81 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& c = ctx.cluster;
-  PlannerState ps(w, c, ctx.engine.state());
+  ps_.reset(w, c, ctx.engine.state());
   const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
   BSIO_CHECK_MSG(!nodes.empty(), "MinMin: no compute node is alive");
 
   if (pending.size() > exact_threshold_)
-    return plan_lazy(w, c, ps, pending, nodes);
+    return plan_lazy(w, c, ps_, pending, nodes);
 
+  ThreadPool& pool = ThreadPool::global();
   sim::SubBatchPlan plan;
-  std::vector<wl::TaskId> todo = pending;
 
-  while (!todo.empty()) {
+  // Unassigned tasks live in a doubly-linked list over pending positions:
+  // removal is O(1) (replacing the old O(T) vector erase) while sweeps and
+  // folds keep visiting survivors in original pending order — a plain
+  // swap-and-pop would permute the fold order and flip exact-tie picks, so
+  // the O(1)-removal structure that *preserves* index-order tie-breaking is
+  // the list.
+  const std::size_t T = pending.size();
+  const auto sentinel = static_cast<std::uint32_t>(T);
+  std::vector<std::uint32_t> next(T + 1), prev(T + 1);
+  for (std::size_t i = 0; i <= T; ++i) {
+    next[i] = static_cast<std::uint32_t>(i + 1 <= T ? i + 1 : 0);
+    prev[i] = static_cast<std::uint32_t>(i > 0 ? i - 1 : T);
+  }
+
+  std::vector<std::uint32_t> alive;  // snapshot, original pending order
+  alive.reserve(T);
+  std::vector<double> ct;
+  const std::size_t N = nodes.size();
+
+  while (next[sentinel] != sentinel) {
+    alive.clear();
+    for (std::uint32_t i = next[sentinel]; i != sentinel; i = next[i])
+      alive.push_back(i);
+    const std::size_t A = alive.size();
+    ct.resize(A * N);
+
+    // Parallel phase: all (task, node) MCTs against the frozen ps_. Each
+    // index writes only its own slot — bit-identical at any thread count.
+    pool.parallel_for_each(A, [&](std::size_t a) {
+      for (std::size_t j = 0; j < N; ++j)
+        ct[a * N + j] =
+            estimate_completion_time(w, c, ps_, pending[alive[a]], nodes[j]);
+    });
+
+    // Sequential fold in the historical (task, node) order.
     double best_ct = std::numeric_limits<double>::infinity();
-    std::size_t best_i = 0;
+    std::size_t best_a = 0;
     wl::NodeId best_node = nodes.front();
-    CompletionEstimate best_est;
-    for (std::size_t i = 0; i < todo.size(); ++i) {
-      for (wl::NodeId n : nodes) {
-        CompletionEstimate est = estimate_completion(w, c, ps, todo[i], n);
-        // Near-ties (storage-dominated estimates make nodes look alike) go
-        // to the least-loaded node, as in classic MinMin.
+    for (std::size_t a = 0; a < A; ++a) {
+      for (std::size_t j = 0; j < N; ++j) {
+        const double cand = ct[a * N + j];
         const bool first = std::isinf(best_ct);
         const double tol = first ? 0.0 : 1e-9 * (1.0 + best_ct);
         const bool better =
-            first || est.completion < best_ct - tol ||
-            (est.completion < best_ct + tol &&
-             ps.node_ready[n] < ps.node_ready[best_node] - 1e-12);
+            first || cand < best_ct - tol ||
+            (cand < best_ct + tol &&
+             ps_.node_ready[nodes[j]] < ps_.node_ready[best_node] - 1e-12);
         if (better) {
-          best_ct = est.completion;
-          best_i = i;
-          best_node = n;
-          best_est = std::move(est);
+          best_ct = cand;
+          best_a = a;
+          best_node = nodes[j];
         }
       }
     }
-    const wl::TaskId task = todo[best_i];
-    apply_assignment(w, c, ps, task, best_node, best_est);
+
+    const wl::TaskId task = pending[alive[best_a]];
+    CompletionEstimate best_est =
+        estimate_completion(w, c, ps_, task, best_node);
+    apply_assignment(w, c, ps_, task, best_node, best_est);
     plan.tasks.push_back(task);
     plan.assignment[task] = best_node;
-    todo.erase(todo.begin() + best_i);
+
+    const std::uint32_t idx = alive[best_a];
+    next[prev[idx]] = next[idx];
+    prev[next[idx]] = prev[idx];
   }
   return plan;
 }

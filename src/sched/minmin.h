@@ -7,8 +7,14 @@
 // with the smallest MCT. Every staged copy implicitly becomes a replica
 // source for later decisions. The whole batch is planned in one sub-batch;
 // the engine's popularity eviction handles disk pressure.
+//
+// The per-round (task x node) MCT sweep runs on the global ThreadPool; the
+// argmin fold over the precomputed estimates stays sequential and visits
+// candidates in the historical order, so plans are bit-identical at any
+// thread count.
 #pragma once
 
+#include "sched/cost_model.h"
 #include "sched/scheduler.h"
 
 namespace bsio::sched {
@@ -31,6 +37,7 @@ class MinMinScheduler : public Scheduler {
 
  private:
   std::size_t exact_threshold_;
+  PlannerState ps_;  // reused across rounds (epoch-stamped reset)
 };
 
 }  // namespace bsio::sched

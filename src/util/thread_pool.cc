@@ -1,0 +1,130 @@
+#include "util/thread_pool.h"
+
+#include <cstdlib>
+#include <memory>
+
+namespace bsio {
+
+namespace {
+
+// Set while a thread (worker or caller) is executing chunks of a loop;
+// nested parallel_for calls see it and run inline.
+thread_local bool tl_in_parallel = false;
+
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& global_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  workers_.reserve(threads > 0 ? threads - 1 : 0);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const char* env = std::getenv("BSIO_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(global_mu());
+  auto& slot = global_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lk(global_mu());
+  auto& slot = global_slot();
+  slot.reset();  // join the old workers before replacing them
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+void ThreadPool::work_on(Loop& loop) {
+  const std::size_t nc = loop.num_chunks;
+  const std::size_t n = loop.n;
+  tl_in_parallel = true;
+  std::size_t c;
+  while ((c = loop.next_chunk.fetch_add(1, std::memory_order_relaxed)) < nc) {
+    // Static chunking: chunk c always covers the same contiguous range,
+    // independent of which thread claims it.
+    const std::size_t begin = c * n / nc;
+    const std::size_t end = (c + 1) * n / nc;
+    if (begin < end) (*loop.body)(begin, end);
+  }
+  tl_in_parallel = false;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (tl_in_parallel || workers_.empty() || n < 2) {
+    body(0, n);
+    return;
+  }
+  std::lock_guard<std::mutex> callers(caller_mu_);
+
+  Loop loop;
+  loop.body = &body;
+  loop.n = n;
+  // Mild over-decomposition smooths out per-index cost variance while the
+  // chunk boundaries stay a pure function of (n, pool size).
+  loop.num_chunks = std::min(n, num_threads() * 4);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    current_ = &loop;
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  work_on(loop);
+
+  // A worker that observed the loop registered itself in workers_in under
+  // mu_ before touching it; nobody new can join once current_ is cleared.
+  std::unique_lock<std::mutex> lk(mu_);
+  current_ = nullptr;
+  done_.wait(lk, [&] { return loop.workers_in == 0; });
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t last_gen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    wake_.wait(lk, [&] {
+      return stop_ || (current_ != nullptr && generation_ != last_gen);
+    });
+    if (stop_) return;
+    last_gen = generation_;
+    Loop* loop = current_;
+    ++loop->workers_in;
+    lk.unlock();
+    work_on(*loop);
+    lk.lock();
+    --loop->workers_in;
+    if (loop->workers_in == 0) done_.notify_all();
+  }
+}
+
+}  // namespace bsio

@@ -1,0 +1,98 @@
+// Deterministic fork-join thread pool for the parallel planners.
+//
+// The pool exposes exactly one primitive, parallel_for, with a hard
+// determinism contract: the index range [0, n) is split into *statically*
+// sized contiguous chunks (the split depends only on n and the pool size,
+// never on timing), each index is visited exactly once, and the body must
+// write only to state owned by its index (e.g. slot i of a preallocated
+// output array). Under that contract a parallel run produces bit-identical
+// results to an inline run at any thread count — any ordering decision
+// (argmin ties, heap pushes, ...) is made by the caller in a sequential
+// reduction over the per-index outputs, in index order.
+//
+// The caller participates in chunk processing (a pool of size T has T-1
+// background workers), so `ThreadPool(1)` spawns no threads and runs
+// everything inline. Nested parallel_for calls — e.g. FM refinement inside
+// a parallel recursive-bisection branch — detect the enclosing loop via a
+// thread-local flag and degrade to inline execution instead of deadlocking.
+// One loop runs at a time per pool; concurrent callers serialize on an
+// internal mutex.
+//
+// The process-wide pool (ThreadPool::global()) is sized from the
+// BSIO_THREADS environment variable, falling back to the hardware
+// concurrency. set_global_threads resizes it between planning rounds (used
+// by bench/perf_makespan's thread sweep); it must not race with an active
+// parallel_for.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsio {
+
+class ThreadPool {
+ public:
+  // `threads` counts the caller: threads <= 1 means fully inline (no
+  // background workers). 0 picks default_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  // Invokes body(begin, end) over disjoint sub-ranges covering [0, n).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Per-index convenience wrapper around parallel_for.
+  template <typename F>
+  void parallel_for_each(std::size_t n, F&& f) {
+    parallel_for(n, [&f](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) f(i);
+    });
+  }
+
+  // BSIO_THREADS if set and > 0, else std::thread::hardware_concurrency.
+  static std::size_t default_threads();
+
+  // Process-wide pool used by the planners.
+  static ThreadPool& global();
+
+  // Recreates the global pool with `threads` threads (0 = default_threads).
+  // Not safe while a parallel_for is in flight on the old pool.
+  static void set_global_threads(std::size_t threads);
+
+ private:
+  struct Loop {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t num_chunks = 0;
+    std::atomic<std::size_t> next_chunk{0};
+    std::size_t workers_in = 0;  // workers inside work_on; guarded by mu_
+  };
+
+  void worker_main();
+  // Processes chunks of `loop` until none remain unclaimed.
+  void work_on(Loop& loop);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards current_, generation_, stop_
+  std::condition_variable wake_;   // workers wait for a new loop / stop
+  std::condition_variable done_;   // caller waits for loop completion
+  Loop* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::mutex caller_mu_;  // serializes concurrent parallel_for callers
+};
+
+}  // namespace bsio
