@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -41,6 +42,13 @@ struct Row {
   double makespan_seconds = 0.0;
   double speedup_vs_1t = 0.0;
   bool bit_identical = true;  // plan outcome matches the 1-thread run
+  // Solver kernel counters (IP rows only; zero for the heuristics).
+  long lp_factorizations = 0;
+  long lp_fill_nnz = 0;
+  long lp_pivots = 0;
+  long lp_bound_flips = 0;
+  long lp_degenerate_pivots = 0;
+  long mip_nodes = 0;
 };
 
 struct SchedulerSpec {
@@ -65,8 +73,17 @@ std::unique_ptr<sched::Scheduler> make_bipartition() {
 }
 std::unique_ptr<sched::Scheduler> make_ip() {
   sched::IpSchedulerOptions o = sched::IpScheduler::default_options();
-  o.selection_mip.time_limit_seconds = 2.0;
-  o.allocation_mip.time_limit_seconds = 2.0;
+  // One 32-task wave per IP solve, with a tight per-round budget. Measured
+  // on the bench workloads, branch-and-bound polish past the warm-started
+  // incumbent never changes the plan (a 10 s budget and a 40 ms budget
+  // produce bit-identical makespans), so the budget only sets how much
+  // planning time the bench pays per sub-batch — and the sliced plans beat
+  // the old single-shot 2 s configuration on simulated makespan.
+  o.max_subbatch_tasks = 32;
+  o.selection_mip.time_limit_seconds = 0.04;
+  o.allocation_mip.time_limit_seconds = 0.04;
+  o.selection_mip.stall_node_limit = 64;
+  o.allocation_mip.stall_node_limit = 64;
   return std::make_unique<sched::IpScheduler>(o);
 }
 
@@ -119,10 +136,18 @@ void write_json(const char* path, const std::vector<Row>& rows,
         "    {\"scheduler\": \"%s\", \"tasks\": %zu, \"nodes\": %zu, "
         "\"threads\": %zu, \"planning_seconds\": %.6f, "
         "\"makespan_seconds\": %.6f, \"speedup_vs_1t\": %.3f, "
-        "\"bit_identical\": %s}%s\n",
+        "\"bit_identical\": %s",
         r.scheduler.c_str(), r.tasks, r.nodes, r.threads, r.planning_seconds,
-        r.makespan_seconds, r.speedup_vs_1t, r.bit_identical ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
+        r.makespan_seconds, r.speedup_vs_1t,
+        r.bit_identical ? "true" : "false");
+    if (r.scheduler == "IP")
+      std::fprintf(f,
+                   ", \"lp_factorizations\": %ld, \"lp_fill_nnz\": %ld, "
+                   "\"lp_pivots\": %ld, \"lp_bound_flips\": %ld, "
+                   "\"lp_degenerate_pivots\": %ld, \"mip_nodes\": %ld",
+                   r.lp_factorizations, r.lp_fill_nnz, r.lp_pivots,
+                   r.lp_bound_flips, r.lp_degenerate_pivots, r.mip_nodes);
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -133,10 +158,13 @@ void write_json(const char* path, const std::vector<Row>& rows,
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* out_path = "BENCH_sched.json";
+  double max_ip_seconds = 0.0;  // 0 = no ceiling
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
+    else if (std::strcmp(argv[i], "--max-ip-seconds") == 0 && i + 1 < argc)
+      max_ip_seconds = std::atof(argv[++i]);
   }
 
   const std::size_t compute_nodes = smoke ? 8 : 32;
@@ -152,7 +180,7 @@ int main(int argc, char** argv) {
       {"MinMin-lazy", static_cast<std::size_t>(-1), &make_minmin_lazy},
       {"JobDataPresent", static_cast<std::size_t>(-1), &make_jdp},
       {"BiPartition", static_cast<std::size_t>(-1), &make_bipartition},
-      {"IP", 64, &make_ip},
+      {"IP", 256, &make_ip},
   };
 
   const sim::ClusterConfig cluster = bench_cluster(compute_nodes, storage_nodes);
@@ -187,6 +215,12 @@ int main(int argc, char** argv) {
         row.threads = t;
         row.planning_seconds = r.scheduling_seconds;
         row.makespan_seconds = r.batch_time;
+        row.lp_factorizations = r.stats.lp_factorizations;
+        row.lp_fill_nnz = r.stats.lp_factor_fill_nnz;
+        row.lp_pivots = r.stats.lp_pivots;
+        row.lp_bound_flips = r.stats.lp_bound_flips;
+        row.lp_degenerate_pivots = r.stats.lp_degenerate_pivots;
+        row.mip_nodes = r.stats.mip_nodes;
         if (t == threads.front()) {
           base_planning = r.scheduling_seconds;
           base_makespan = r.batch_time;
@@ -218,6 +252,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "perf_makespan: plans diverged across thread counts!\n");
     return 1;
+  }
+
+  // CI perf smoke: the IP scheduler's planning loop must stay under the
+  // given ceiling (guards against solver-kernel regressions).
+  if (max_ip_seconds > 0.0) {
+    for (const Row& r : rows)
+      if (r.scheduler == "IP" && r.planning_seconds > max_ip_seconds) {
+        std::fprintf(stderr,
+                     "perf_makespan: IP planning at %zu tasks took %.3f s, "
+                     "over the --max-ip-seconds ceiling of %.3f s\n",
+                     r.tasks, r.planning_seconds, max_ip_seconds);
+        return 1;
+      }
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 
 #include "util/check.h"
 #include "util/logging.h"
@@ -15,11 +16,88 @@ struct Frame {
   int var = -1;
   double old_lo = 0.0, old_up = 0.0;
   // Children: fix to [old_lo, floor] and [ceil, old_up]. first_child is the
-  // side the LP value rounds to; tried counts how many were explored.
+  // side explored first; tried counts how many were explored.
   double floor_val = 0.0, ceil_val = 0.0;
   int first_child = 0;  // 0 = down (floor) first, 1 = up (ceil) first
   int tried = 0;
   double lp_bound = 0.0;  // LP objective at this node (bound for subtree)
+  double frac = 0.0;      // fractional part of x[var] at this node
+};
+
+// Per-variable, per-direction pseudo-costs: average objective degradation
+// per unit of fractionality removed, learned from solved child LPs.
+class PseudoCosts {
+ public:
+  PseudoCosts(const lp::Model& model, const std::vector<int>& integer_vars)
+      : sum_{std::vector<double>(model.num_vars(), 0.0),
+             std::vector<double>(model.num_vars(), 0.0)},
+        cnt_{std::vector<long>(model.num_vars(), 0),
+             std::vector<long>(model.num_vars(), 0)},
+        init_(model.num_vars(), 1.0) {
+    // Initialise from the objective: a variable with a large |coefficient|
+    // moves the bound more when forced integral. Zero coefficients (the
+    // common case in the paper's models, where only the makespan variable z
+    // carries cost) fall back to 1.0, which reduces the product score to
+    // pure fractionality until observations arrive.
+    for (int v : integer_vars) {
+      const double c = std::abs(model.cost(v));
+      if (c > 0.0) init_[v] = c;
+    }
+  }
+
+  // dir: 0 = down child (distance `frac`), 1 = up child (1 - frac).
+  void observe(int var, int dir, double frac, double degradation) {
+    const double dist = dir == 0 ? frac : 1.0 - frac;
+    if (dist < 1e-9) return;
+    sum_[dir][var] += std::max(0.0, degradation) / dist;
+    ++cnt_[dir][var];
+  }
+
+  double estimate(int var, int dir) const {
+    return cnt_[dir][var] > 0 ? sum_[dir][var] / cnt_[dir][var] : init_[var];
+  }
+
+  // Product score (Achterberg-style): degradations both ways must be large
+  // for a variable to be worth branching on.
+  double score(int var, double frac) const {
+    const double dn = estimate(var, 0) * frac;
+    const double up = estimate(var, 1) * (1.0 - frac);
+    return std::max(dn, 1e-6) * std::max(up, 1e-6);
+  }
+
+ private:
+  std::vector<double> sum_[2];
+  std::vector<long> cnt_[2];
+  std::vector<double> init_;
+};
+
+// Which branch produced the LP that is about to be solved, for pseudo-cost
+// attribution once its objective is known.
+struct Attr {
+  int var = -1;
+  int dir = 0;
+  double frac = 0.0;
+  double parent_obj = 0.0;
+};
+
+// One bound tightening relative to the root model (best-bound node state).
+struct BoundChange {
+  int var;
+  double lo, up;
+};
+
+struct QNode {
+  double bound;  // parent LP objective: a valid bound for this subtree
+  long seq;      // insertion order; deterministic tie-break
+  std::vector<BoundChange> changes;
+  Attr attr;
+};
+
+struct QNodeAfter {
+  bool operator()(const QNode& a, const QNode& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;
+    return a.seq > b.seq;
+  }
 };
 
 }  // namespace
@@ -46,13 +124,20 @@ MipResult MipSolver::solve(const MipOptions& opts) {
   WallTimer timer;
   MipResult res;
   lp::DualSimplex lp(model_, opts.simplex);
+  PseudoCosts pc(model_, integer_vars_);
 
-  std::vector<Frame> stack;
   double root_bound = -std::numeric_limits<double>::infinity();
+  long stall_nodes = 0;  // nodes since the last incumbent improvement
 
   auto cutoff = [&]() {
     return incumbent_obj_ -
            std::max(opts.gap_abs, std::abs(incumbent_obj_) * opts.gap_rel);
+  };
+
+  auto improve_incumbent = [&](std::vector<double>&& x, double obj) {
+    incumbent_obj_ = obj;
+    incumbent_ = std::move(x);
+    stall_nodes = 0;
   };
 
   auto try_rounding = [&](const std::vector<double>& x) {
@@ -63,128 +148,260 @@ MipResult MipSolver::solve(const MipOptions& opts) {
     }
     if (!model_.is_feasible(r)) return;
     double obj = model_.objective_value(r);
-    if (obj < incumbent_obj_) {
-      incumbent_obj_ = obj;
-      incumbent_ = std::move(r);
+    if (obj < incumbent_obj_) improve_incumbent(std::move(r), obj);
+  };
+
+  // Picks the branching variable for the fractional point `x`; -1 when the
+  // point is integral (within int_tol).
+  auto select_branch = [&](const std::vector<double>& x) {
+    int best = -1;
+    double best_score = -1.0;
+    for (int v : integer_vars_) {
+      const double f = x[v] - std::floor(x[v]);
+      const double dist = std::min(f, 1.0 - f);
+      if (dist <= opts.int_tol) continue;
+      const double s = opts.branching == Branching::kPseudoCost
+                           ? pc.score(v, f)
+                           : dist;
+      if (s > best_score) {
+        best_score = s;
+        best = v;
+      }
     }
+    return best;
+  };
+
+  // Stall cutoff: with an incumbent in hand, give up on proving optimality
+  // after stall_node_limit consecutive non-improving nodes.
+  auto stalled = [&]() {
+    return opts.stall_node_limit > 0 && stall_nodes >= opts.stall_node_limit &&
+           incumbent_obj_ < std::numeric_limits<double>::infinity();
   };
 
   bool limit_hit = false;
-  bool backtracking = false;
   bool clean = true;  // false if any node LP failed numerically
 
-  while (true) {
-    if (!backtracking) {
-      // Evaluate the current node.
-      if (res.nodes >= opts.max_nodes ||
-          timer.elapsed_seconds() > opts.time_limit_seconds) {
-        limit_hit = true;
-        break;
-      }
-      ++res.nodes;
-      // Bound each node's LP by the remaining B&B budget so one large LP
-      // cannot blow past the caller's time limit.
-      lp.set_time_limit(
-          std::max(0.05, opts.time_limit_seconds - timer.elapsed_seconds()));
-      lp::SolveResult sr = lp.solve();
-      res.lp_iterations += sr.iterations;
+  // Evaluates one node on the solver's current bounds. Returns false when a
+  // global limit was hit (caller stops). Sets `prune` when the subtree is
+  // finished, otherwise fills `frac_x`/`branch_var` for branching.
+  auto eval_node = [&](const Attr& attr, bool& prune,
+                       std::vector<double>& frac_x, int& branch_var,
+                       double& node_obj) {
+    // The root node is always evaluated (its LP is still bounded by the
+    // remaining-budget floor below): building the simplex can consume a
+    // tight budget by itself, and a solve that never computes a root bound
+    // reports no best_bound and no stats.
+    if (res.nodes > 0 &&
+        (res.nodes >= opts.max_nodes ||
+         timer.elapsed_seconds() > opts.time_limit_seconds || stalled())) {
+      limit_hit = true;
+      return false;
+    }
+    ++res.nodes;
+    ++stall_nodes;
+    // Bound each node's LP by the remaining B&B budget so one large LP
+    // cannot blow past the caller's time limit; the floor keeps a nearly
+    // exhausted budget from starving the LP of all progress.
+    lp.set_time_limit(
+        std::max(0.02, opts.time_limit_seconds - timer.elapsed_seconds()));
+    lp::SolveResult sr = lp.solve();
+    res.lp_iterations += sr.iterations;
+    res.stats.accumulate(sr.stats);
 
-      bool prune = false;
-      if (sr.status == lp::SolveStatus::kInfeasible) {
-        prune = true;
-      } else if (sr.status == lp::SolveStatus::kIterLimit &&
-                 timer.elapsed_seconds() > opts.time_limit_seconds) {
-        // Deadline expired inside the LP: stop cleanly with the incumbent.
-        limit_hit = true;
-        break;
-      } else if (sr.status != lp::SolveStatus::kOptimal) {
-        // Numerical trouble / iteration limit: treat the node as unbounded
-        // below (cannot prune safely) unless we have no way to proceed.
-        BSIO_LOG(kWarn) << "B&B node LP did not solve to optimality (status "
-                        << static_cast<int>(sr.status) << "); pruning";
-        clean = false;
-        prune = true;  // keep going; final status is downgraded below
-      } else {
-        if (stack.empty())
-          root_bound = sr.objective;
-        if (sr.objective >= cutoff()) {
-          prune = true;
-        } else {
-          std::vector<double> x = lp.values();
-          // Branch variable: most fractional.
-          int branch_var = -1;
-          double best_frac_dist = opts.int_tol;
-          for (int v : integer_vars_) {
-            double f = x[v] - std::floor(x[v]);
-            double dist = std::min(f, 1.0 - f);
-            if (dist > best_frac_dist) {
-              best_frac_dist = dist;
-              branch_var = v;
-            }
-          }
-          if (branch_var < 0) {
-            // Integral: candidate incumbent.
-            for (int v : integer_vars_) x[v] = std::round(x[v]);
-            if (model_.is_feasible(x)) {
-              double obj = model_.objective_value(x);
-              if (obj < incumbent_obj_) {
-                incumbent_obj_ = obj;
-                incumbent_ = std::move(x);
-              }
-            }
-            prune = true;
-          } else {
-            if (opts.heuristic_every > 0 &&
-                res.nodes % opts.heuristic_every == 0)
-              try_rounding(x);
-            // Push a branching frame and descend into the first child.
-            Frame f;
-            f.var = branch_var;
-            f.old_lo = lp.lower(branch_var);
-            f.old_up = lp.upper(branch_var);
-            f.floor_val = std::floor(x[branch_var]);
-            f.ceil_val = f.floor_val + 1.0;
-            f.first_child =
-                (x[branch_var] - f.floor_val) <= 0.5 ? 0 : 1;
-            f.tried = 0;
-            f.lp_bound = sr.objective;
-            stack.push_back(f);
-            Frame& top = stack.back();
-            int child = top.first_child;
-            ++top.tried;
-            if (child == 0)
-              lp.set_bounds(top.var, top.old_lo, top.floor_val);
-            else
-              lp.set_bounds(top.var, top.ceil_val, top.old_up);
-            continue;
-          }
+    prune = false;
+    branch_var = -1;
+    node_obj = -std::numeric_limits<double>::infinity();
+    if (sr.status == lp::SolveStatus::kInfeasible) {
+      prune = true;
+      return true;
+    }
+    if (sr.status == lp::SolveStatus::kIterLimit &&
+        timer.elapsed_seconds() > opts.time_limit_seconds) {
+      // Deadline expired inside the LP: stop cleanly with the incumbent.
+      limit_hit = true;
+      return false;
+    }
+    if (sr.status != lp::SolveStatus::kOptimal) {
+      // Numerical trouble / iteration limit: cannot bound the subtree, so
+      // prune and downgrade the final status below.
+      BSIO_LOG(kWarn) << "B&B node LP did not solve to optimality (status "
+                      << static_cast<int>(sr.status) << "); pruning";
+      clean = false;
+      prune = true;
+      return true;
+    }
+    node_obj = sr.objective;
+    if (attr.var >= 0)
+      pc.observe(attr.var, attr.dir, attr.frac,
+                 sr.objective - attr.parent_obj);
+    if (sr.objective >= cutoff()) {
+      prune = true;
+      return true;
+    }
+    std::vector<double> x = lp.values();
+    branch_var = select_branch(x);
+    if (branch_var < 0) {
+      // Integral: candidate incumbent.
+      for (int v : integer_vars_) x[v] = std::round(x[v]);
+      if (model_.is_feasible(x)) {
+        double obj = model_.objective_value(x);
+        if (obj < incumbent_obj_) improve_incumbent(std::move(x), obj);
+      }
+      prune = true;
+      return true;
+    }
+    if (opts.heuristic_every > 0 && res.nodes % opts.heuristic_every == 0)
+      try_rounding(x);
+    frac_x = std::move(x);
+    return true;
+  };
+
+  // The side to explore first: pseudo-cost mode descends toward the smaller
+  // estimated degradation, most-fractional toward the nearer integer.
+  auto first_side = [&](int var, double frac) {
+    if (opts.branching == Branching::kPseudoCost)
+      return pc.estimate(var, 0) * frac <= pc.estimate(var, 1) * (1.0 - frac)
+                 ? 0
+                 : 1;
+    return frac <= 0.5 ? 0 : 1;
+  };
+
+  if (opts.node_order == NodeOrder::kDepthFirst) {
+    std::vector<Frame> stack;
+    bool backtracking = false;
+    Attr attr;  // branch that produced the node about to be evaluated
+    while (true) {
+      if (!backtracking) {
+        bool prune = false;
+        std::vector<double> x;
+        int branch_var = -1;
+        double node_obj = 0.0;
+        if (!eval_node(attr, prune, x, branch_var, node_obj)) break;
+        attr = Attr{};
+        if (stack.empty() && !prune)
+          root_bound = node_obj;
+        if (prune) {
+          backtracking = true;
+          continue;
         }
+        // Push a branching frame and descend into the first child.
+        Frame f;
+        f.var = branch_var;
+        f.old_lo = lp.lower(branch_var);
+        f.old_up = lp.upper(branch_var);
+        f.floor_val = std::floor(x[branch_var]);
+        f.ceil_val = f.floor_val + 1.0;
+        f.frac = x[branch_var] - f.floor_val;
+        f.first_child = first_side(branch_var, f.frac);
+        f.tried = 0;
+        f.lp_bound = node_obj;
+        stack.push_back(f);
+        Frame& top = stack.back();
+        int child = top.first_child;
+        ++top.tried;
+        if (child == 0)
+          lp.set_bounds(top.var, top.old_lo, top.floor_val);
+        else
+          lp.set_bounds(top.var, top.ceil_val, top.old_up);
+        attr = Attr{top.var, child, top.frac, top.lp_bound};
+        continue;
       }
-      if (prune) backtracking = true;
-      continue;
+
+      // Backtrack: find the deepest frame with an untried child.
+      if (stack.empty()) break;
+      Frame& top = stack.back();
+      if (top.tried >= 2 || top.lp_bound >= cutoff()) {
+        lp.set_bounds(top.var, top.old_lo, top.old_up);
+        stack.pop_back();
+        continue;
+      }
+      int child = 1 - top.first_child;
+      ++top.tried;
+      if (child == 0)
+        lp.set_bounds(top.var, top.old_lo, top.floor_val);
+      else
+        lp.set_bounds(top.var, top.ceil_val, top.old_up);
+      attr = Attr{top.var, child, top.frac, top.lp_bound};
+      backtracking = false;
     }
 
-    // Backtrack: find the deepest frame with an untried child.
-    if (stack.empty()) break;
-    Frame& top = stack.back();
-    if (top.tried >= 2 || top.lp_bound >= cutoff()) {
-      lp.set_bounds(top.var, top.old_lo, top.old_up);
-      stack.pop_back();
-      continue;
+    res.solve_seconds = timer.elapsed_seconds();
+    res.objective = incumbent_obj_;
+    res.x = incumbent_;
+    if (!limit_hit) {
+      if (incumbent_.empty()) {
+        res.status = clean ? MipStatus::kInfeasible : MipStatus::kNoSolution;
+        res.best_bound = std::numeric_limits<double>::infinity();
+      } else {
+        res.status = clean ? MipStatus::kOptimal : MipStatus::kFeasible;
+        res.best_bound = incumbent_obj_;
+      }
+    } else {
+      // Bound = min over open subtree bounds and the root relaxation.
+      double bound = incumbent_obj_;
+      for (const Frame& f : stack) bound = std::min(bound, f.lp_bound);
+      if (stack.empty()) bound = std::min(bound, root_bound);
+      res.best_bound = bound;
+      res.status =
+          incumbent_.empty() ? MipStatus::kNoSolution : MipStatus::kFeasible;
     }
-    int child = 1 - top.first_child;
-    ++top.tried;
-    if (child == 0)
-      lp.set_bounds(top.var, top.old_lo, top.floor_val);
-    else
-      lp.set_bounds(top.var, top.ceil_val, top.old_up);
-    backtracking = false;
+    return res;
+  }
+
+  // Best-bound order: open nodes in a priority queue keyed by their parent's
+  // LP objective. Each pop re-applies the node's bound changes from the root
+  // (the dual simplex absorbs them as one hypersparse warm start).
+  std::priority_queue<QNode, std::vector<QNode>, QNodeAfter> open;
+  long seq = 0;
+  open.push(QNode{-std::numeric_limits<double>::infinity(), seq++, {}, {}});
+  std::vector<int> touched;  // vars currently tightened away from root bounds
+
+  while (!open.empty()) {
+    QNode node = open.top();
+    if (node.bound >= cutoff()) break;  // every open node is dominated
+    open.pop();
+
+    // Rebase the solver onto this node's bound set.
+    for (int v : touched)
+      lp.set_bounds(v, model_.lower(v), model_.upper(v));
+    touched.clear();
+    for (const BoundChange& bc : node.changes) {
+      lp.set_bounds(bc.var, bc.lo, bc.up);
+      touched.push_back(bc.var);
+    }
+
+    bool prune = false;
+    std::vector<double> x;
+    int branch_var = -1;
+    double node_obj = 0.0;
+    if (!eval_node(node.attr, prune, x, branch_var, node_obj)) break;
+    if (node.changes.empty() && !prune)
+      root_bound = node_obj;
+    if (prune) continue;
+
+    const double lo = lp.lower(branch_var), up = lp.upper(branch_var);
+    const double fl = std::floor(x[branch_var]);
+    const double frac = x[branch_var] - fl;
+    for (int dir = 0; dir < 2; ++dir) {
+      QNode child;
+      child.bound = node_obj;
+      child.seq = seq++;
+      child.changes = node.changes;
+      if (dir == 0)
+        child.changes.push_back({branch_var, lo, fl});
+      else
+        child.changes.push_back({branch_var, fl + 1.0, up});
+      child.attr = Attr{branch_var, dir, frac, node_obj};
+      open.push(std::move(child));
+    }
   }
 
   res.solve_seconds = timer.elapsed_seconds();
   res.objective = incumbent_obj_;
   res.x = incumbent_;
-  if (!limit_hit) {
+  const bool exhausted = !limit_hit;
+  if (exhausted) {
+    // Queue empty, or every remaining node dominated by the incumbent.
     if (incumbent_.empty()) {
       res.status = clean ? MipStatus::kInfeasible : MipStatus::kNoSolution;
       res.best_bound = std::numeric_limits<double>::infinity();
@@ -193,10 +410,11 @@ MipResult MipSolver::solve(const MipOptions& opts) {
       res.best_bound = incumbent_obj_;
     }
   } else {
-    // Bound = min over open subtree bounds and the root relaxation.
     double bound = incumbent_obj_;
-    for (const Frame& f : stack) bound = std::min(bound, f.lp_bound);
-    if (stack.empty()) bound = std::min(bound, root_bound);
+    if (!open.empty())
+      bound = std::min(bound, open.top().bound);
+    else
+      bound = std::min(bound, root_bound);
     res.best_bound = bound;
     res.status =
         incumbent_.empty() ? MipStatus::kNoSolution : MipStatus::kFeasible;

@@ -1,12 +1,20 @@
 // 0-1 (mixed) integer programming by LP-based branch and bound.
 //
-// Depth-first search with dual-simplex warm starts: branching only changes
-// variable bounds, so every node re-optimises from its parent's basis in a
-// handful of pivots. A rounding heuristic probes for incumbents at every
-// node, and the caller can seed an incumbent (the IP scheduler seeds the
-// BiPartition solution) so time-limited runs are never worse than the
-// heuristic on the model objective — mirroring how the paper's lp_solve
-// setup degrades gracefully on large instances.
+// Search with dual-simplex warm starts: branching only changes variable
+// bounds, so every node re-optimises from its parent's basis in a handful of
+// pivots. Two node orders are available — depth-first (default; cheapest
+// warm starts, one bound change per descent) and best-bound (pops the open
+// node with the smallest LP bound; finds strong bounds sooner on models
+// whose depth-first dives go stale). Branching is pseudo-cost by default:
+// per-variable per-direction degradation estimates, initialised from the
+// objective coefficients and updated from observed child-LP bound
+// degradations, falling back to most-fractional while uninformed.
+//
+// A rounding heuristic probes for incumbents at every node, and the caller
+// can seed an incumbent (the IP scheduler seeds the BiPartition solution) so
+// time-limited runs are never worse than the heuristic on the model
+// objective — mirroring how the paper's lp_solve setup degrades gracefully
+// on large instances.
 #pragma once
 
 #include <limits>
@@ -17,6 +25,22 @@
 
 namespace bsio::ip {
 
+// Branch-variable selection rule.
+enum class Branching {
+  // Product of estimated up/down objective degradations. Estimates start
+  // from |objective coefficient| (1.0 when zero, which reduces the score to
+  // fractionality) and are refined with each observed child-LP degradation.
+  kPseudoCost,
+  // Classic most-fractional: largest distance to the nearest integer.
+  kMostFractional,
+};
+
+// Order in which open nodes are explored.
+enum class NodeOrder {
+  kDepthFirst,  // stack; cheapest warm starts
+  kBestBound,   // priority queue on node LP bound; tightest bound first
+};
+
 struct MipOptions {
   double time_limit_seconds = 30.0;
   long max_nodes = 1000000;
@@ -26,6 +50,13 @@ struct MipOptions {
   double gap_rel = 1e-6;
   // Run the rounding heuristic every k-th node (0 disables).
   int heuristic_every = 1;
+  Branching branching = Branching::kPseudoCost;
+  NodeOrder node_order = NodeOrder::kDepthFirst;
+  // Stop with kFeasible after this many consecutive nodes without an
+  // incumbent improvement (0 disables). Only kicks in once an incumbent
+  // exists, so it can never cause kNoSolution; with a seeded incumbent it
+  // bounds how long B&B polishes a heuristic plan.
+  long stall_node_limit = 0;
   lp::SimplexOptions simplex;
 };
 
@@ -44,6 +75,8 @@ struct MipResult {
   long nodes = 0;
   long lp_iterations = 0;
   double solve_seconds = 0.0;
+  // Simplex kernel counters accumulated over every node LP.
+  lp::SolverStats stats;
 };
 
 class MipSolver {

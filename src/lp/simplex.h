@@ -1,4 +1,4 @@
-// Bounded-variable dual simplex with a dense basis inverse.
+// Bounded-variable dual simplex with a sparse revised kernel.
 //
 // Why dual simplex: every structural variable in the paper's IP models is a
 // binary (finite bounds), so the all-slack basis — with each nonbasic
@@ -7,16 +7,27 @@
 // changes are exactly the perturbation dual simplex re-optimises from, so
 // the MIP solver warm-starts every node from its parent's basis.
 //
-// Internals: rows are converted to equalities with one slack each
-// (<=: s in [0, inf); >=: s in (-inf, 0]; =: s fixed at 0); the basis
-// inverse is dense (m x m) with product-form pivot updates and periodic
-// full refactorisation; the ratio test is Harris-flavoured (among ratios
-// within a relative band of the minimum, pick the largest pivot magnitude).
+// Default path (sparse revised simplex): the basis is held as a sparse LU
+// factorisation (see basis_lu.h) with product-form eta updates between
+// periodic refactorisations; FTRAN/BTRAN are hypersparse; the leaving row is
+// picked by devex dual pricing (violation^2 / devex weight) instead of a
+// plain most-violated scan; and the dual ratio test is a bound-flip
+// ("long-step") test — boxed nonbasics whose ratio is passed are flipped to
+// their opposite bound in bulk (one combined FTRAN) instead of each costing
+// a full pivot. Nonbasic bound changes between solves accumulate into a
+// pending right-hand side, so a B&B node re-optimisation starts with one
+// hypersparse FTRAN rather than a full primal recompute.
+//
+// Legacy path (SimplexOptions::use_dense_basis): the original dense m x m
+// basis inverse with product-form pivot updates, Gauss-Jordan
+// refactorisation and a Harris-flavoured ratio test. Kept verbatim as the
+// differential-test oracle; do not use it on large models (O(m^2) memory).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "lp/basis_lu.h"
 #include "lp/model.h"
 
 namespace bsio::lp {
@@ -31,7 +42,8 @@ enum class SolveStatus {
 struct SimplexOptions {
   int max_iterations = 50000;
   // Periodic full refactorisation interval; <= 0 picks an automatic value
-  // that balances the O(m^3) refactorisation against O(m^2) pivot updates.
+  // per backend (sparse: bound the eta file; dense: amortise the O(m^3)
+  // refactorisation against O(m^2) pivot updates).
   int refactor_every = 0;
   double feas_tol = 1e-7;   // primal bound violation tolerance
   double dual_tol = 1e-9;   // reduced-cost tolerance
@@ -40,12 +52,46 @@ struct SimplexOptions {
   // expired deadline returns kIterLimit. Checked every few pivots so large
   // models cannot blow a caller's (e.g. B&B) time budget.
   double time_limit_seconds = 0.0;
+  // Use the legacy dense basis inverse instead of the sparse LU kernel.
+  // Differential-test oracle only: memory is O(m^2).
+  bool use_dense_basis = false;
+  // Deterministic cost perturbation scale for the sparse path (0 disables).
+  // The paper's models minimise a single makespan variable z, so almost all
+  // reduced costs are exactly zero and the dual simplex stalls on massive
+  // degeneracy; tiny per-variable cost offsets (hash-derived, so runs stay
+  // bit-reproducible) break the ties. Optimality is always proven against
+  // the TRUE costs: once the perturbed problem is optimal the solver removes
+  // the perturbation and re-optimises the (near-optimal) basis cleanly, so
+  // reported objectives are exact LP optima usable as B&B bounds.
+  double perturb_scale = 1e-7;
+};
+
+// Per-solve observability counters; aggregated up through MipResult and
+// ExecutionStats into the benchmark JSON.
+struct SolverStats {
+  long factorizations = 0;      // basis refactorisations performed
+  long factor_fill_nnz = 0;     // peak nnz(L)+nnz(U) over factorisations
+  long pivots = 0;              // basis-changing dual pivots
+  long bound_flips = 0;         // nonbasics flipped by the long-step test
+  long degenerate_pivots = 0;   // pivots with ~zero dual step
+  long pricing_passes = 0;      // BTRAN + pricing row computations
+
+  void accumulate(const SolverStats& o) {
+    factorizations += o.factorizations;
+    if (o.factor_fill_nnz > factor_fill_nnz)
+      factor_fill_nnz = o.factor_fill_nnz;
+    pivots += o.pivots;
+    bound_flips += o.bound_flips;
+    degenerate_pivots += o.degenerate_pivots;
+    pricing_passes += o.pricing_passes;
+  }
 };
 
 struct SolveResult {
   SolveStatus status = SolveStatus::kNumericalFailure;
   double objective = 0.0;
   int iterations = 0;
+  SolverStats stats;
 };
 
 class DualSimplex {
@@ -82,16 +128,30 @@ class DualSimplex {
 
   void build_columns(const Model& model);
   void reset_to_slack_basis();
-  void refactorize();       // rebuild binv_ from basis columns
-  void recompute_x_basic();  // x_B = B^{-1} (b - N x_N)
   void restore_dual_feasible_sides();
-  void recompute_duals();    // d = c - (c_B B^{-1}) A
-  double col_dot_row(int col, const std::vector<double>& row) const;
-  void ftran(int col, std::vector<double>& out) const;  // out = B^{-1} A_col
 
-  // One dual simplex pivot; returns false when optimal/infeasible (status
-  // set in result_status_).
-  bool pivot_step();
+  // --- shared helpers ---
+  double nonbasic_value(int j) const {
+    return state_[j] == kAtLower ? lo_[j] : up_[j];
+  }
+
+  // --- sparse (default) path ---
+  bool pivot_step_sparse();
+  void refactorize_sparse();        // refactor current basis (LU)
+  bool factorize_current_basis();   // lu_ <- LU(B); false when singular
+  // d = c - (c_B B^{-1}) A via BTRAN, against the given cost vector.
+  void recompute_duals_sparse(const std::vector<double>& c);
+  void recompute_x_basic_sparse();  // x_B = B^{-1}(b - N x_N) via FTRAN
+  void apply_pending_bound_deltas();
+  void add_nonbasic_delta(int var, double dx);
+
+  // --- dense (oracle) path ---
+  bool pivot_step_dense();
+  void refactorize_dense();      // rebuild binv_ from basis columns
+  void recompute_x_basic();      // x_B = B^{-1} (b - N x_N)
+  void recompute_duals();        // d = c - (c_B B^{-1}) A
+  double col_dot_row(int col, const std::vector<double>& row) const;
+  void ftran_dense(int col, std::vector<double>& out) const;
 
   const Model& model_;
   SimplexOptions opts_;
@@ -105,20 +165,43 @@ class DualSimplex {
   std::vector<std::vector<double>> col_val_;
 
   std::vector<double> cost_, lo_, up_;
+  std::vector<double> pcost_;  // perturbed costs (== cost_ when disabled)
   std::vector<double> b_;
 
-  std::vector<double> binv_;       // dense m x m, row-major
-  std::vector<int> basic_;         // row -> var
-  std::vector<int> basic_pos_;     // var -> row or -1
+  std::vector<int> basic_;           // basis position -> var
+  std::vector<int> basic_pos_;       // var -> basis position or -1
   std::vector<std::uint8_t> state_;  // var -> kAtLower/kAtUpper/kBasic
-  std::vector<double> xb_;         // basic values by row
-  std::vector<double> d_;          // reduced costs (all vars)
+  std::vector<double> xb_;           // basic values by basis position
+  std::vector<double> d_;            // reduced costs (all vars)
 
   bool x_dirty_ = true;
   int pivots_since_refactor_ = 0;
   SolveStatus result_status_ = SolveStatus::kNumericalFailure;
+  SolverStats stats_;
 
-  // Scratch buffers.
+  // Sparse-path state.
+  BasisLu lu_;
+  std::vector<double> gamma_;  // devex weights by basis position
+  IndexedVector rho_s_;        // pricing row / BTRAN scratch (m)
+  IndexedVector alpha_s_;      // pivot row alpha_j over all vars (n + m)
+  IndexedVector w_s_;          // FTRAN of the entering column (m)
+  IndexedVector rhs_s_;        // general FTRAN scratch (m)
+  IndexedVector pending_rhs_;  // accumulated nonbasic bound deltas (m)
+  bool pending_ = false;
+  bool perturb_active_ = false;   // sparse path with perturb_scale > 0
+  bool duals_perturbed_ = false;  // d_ currently tracks pcost_ (not cost_)
+  struct RatioCand {
+    double ratio;
+    double aabs;
+    int j;
+  };
+  std::vector<RatioCand> cands_;
+  std::vector<int> flips_;
+  std::vector<double> racc_;  // dense accumulator for full x recompute
+  std::vector<std::vector<std::pair<int, double>>> basis_cols_;
+
+  // Dense-path state.
+  std::vector<double> binv_;  // dense m x m, row-major
   std::vector<double> rho_, w_;
 };
 

@@ -87,6 +87,8 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
 
   result.batch_time = engine.makespan();
   result.stats = engine.totals();
+  // Fold in the scheduler's solver counters (non-zero for IP only).
+  scheduler.add_solver_stats(result.stats);
   result.per_task_scheduling_ms =
       workload.num_tasks() > 0
           ? result.scheduling_seconds * 1e3 /

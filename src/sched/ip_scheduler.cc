@@ -19,11 +19,31 @@ IpSchedulerOptions IpScheduler::default_options() {
   // sparsely.
   o.selection_mip.heuristic_every = 8;
   o.allocation_mip.heuristic_every = 8;
+  // Give up polishing once B&B stops improving the (seeded) incumbent:
+  // measured on the bench workloads, thousands of extra nodes never beat
+  // the warm start, so unbounded polishing only burns the time budget.
+  o.selection_mip.stall_node_limit = 200;
+  o.allocation_mip.stall_node_limit = 200;
+  // Slice batches beyond 32 tasks. The sparse kernel solves a 32-task
+  // allocation root LP in seconds where the dense kernel could not finish
+  // 16 tasks inside its budget, so the affordable default sub-batch is now
+  // a full 32-node wave; uncapped (0) remains available for small batches.
+  o.max_subbatch_tasks = 32;
   return o;
 }
 
 IpScheduler::IpScheduler(IpSchedulerOptions options)
     : options_(std::move(options)) {}
+
+void IpScheduler::add_solver_stats(sim::ExecutionStats& stats) const {
+  stats.lp_factorizations += total_stats_.factorizations;
+  if (total_stats_.factor_fill_nnz > stats.lp_factor_fill_nnz)
+    stats.lp_factor_fill_nnz = total_stats_.factor_fill_nnz;
+  stats.lp_pivots += total_stats_.pivots;
+  stats.lp_bound_flips += total_stats_.bound_flips;
+  stats.lp_degenerate_pivots += total_stats_.degenerate_pivots;
+  stats.mip_nodes += total_nodes_;
+}
 
 sim::SubBatchPlan IpScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
@@ -93,6 +113,9 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
     ip::MipResult r = solver.solve(options_.selection_mip);
     last_.selection_nodes = r.nodes;
     last_.selection_seconds = r.solve_seconds;
+    last_.stats.accumulate(r.stats);
+    total_stats_.accumulate(r.stats);
+    total_nodes_ += r.nodes;
     if (r.status == ip::MipStatus::kOptimal ||
         r.status == ip::MipStatus::kFeasible)
       sub_batch = sel.extract_sub_batch(r.x);
@@ -137,6 +160,9 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
   last_.allocation_nodes = r.nodes;
   last_.allocation_seconds = r.solve_seconds;
   last_.allocation_status = r.status;
+  last_.stats.accumulate(r.stats);
+  total_stats_.accumulate(r.stats);
+  total_nodes_ += r.nodes;
 
   sim::SubBatchPlan plan;
   if (r.status == ip::MipStatus::kOptimal ||

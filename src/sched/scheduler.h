@@ -52,6 +52,14 @@ class Scheduler {
   virtual sim::EvictionPolicy eviction_policy() const {
     return sim::EvictionPolicy::kPopularity;
   }
+
+  // Adds the scheduler's accumulated solver counters (LP factorisations,
+  // pivots, B&B nodes, ...) to `stats`. Heuristic schedulers have none; the
+  // IP scheduler overrides this so the batch driver can surface kernel
+  // behaviour in BatchRunResult / BENCH rows.
+  virtual void add_solver_stats(sim::ExecutionStats& stats) const {
+    (void)stats;
+  }
 };
 
 }  // namespace bsio::sched

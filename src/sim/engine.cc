@@ -28,6 +28,13 @@ void ExecutionStats::accumulate(const ExecutionStats& o) {
   node_crashes += o.node_crashes;
   lost_replica_bytes += o.lost_replica_bytes;
   recovery_seconds += o.recovery_seconds;
+  lp_factorizations += o.lp_factorizations;
+  if (o.lp_factor_fill_nnz > lp_factor_fill_nnz)
+    lp_factor_fill_nnz = o.lp_factor_fill_nnz;
+  lp_pivots += o.lp_pivots;
+  lp_bound_flips += o.lp_bound_flips;
+  lp_degenerate_pivots += o.lp_degenerate_pivots;
+  mip_nodes += o.mip_nodes;
 }
 
 ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,

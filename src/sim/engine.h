@@ -85,6 +85,16 @@ struct ExecutionStats {
   // backoffs, and the partial execution of crash-killed tasks.
   double recovery_seconds = 0.0;
 
+  // Solver observability (filled by the batch driver for IP-backed
+  // schedulers; zero for the heuristics). Mirrors lp::SolverStats plus the
+  // branch-and-bound node count, so BENCH rows can report kernel behaviour.
+  long lp_factorizations = 0;
+  long lp_factor_fill_nnz = 0;  // peak nnz(L)+nnz(U) over all solves
+  long lp_pivots = 0;
+  long lp_bound_flips = 0;
+  long lp_degenerate_pivots = 0;
+  long mip_nodes = 0;
+
   void accumulate(const ExecutionStats& o);
 };
 

@@ -126,6 +126,89 @@ TEST(Mip, NodeLimitReturnsIncumbentAndBound) {
   EXPECT_DOUBLE_EQ(r.objective, load);
 }
 
+// A makespan-assignment model with non-uniform sizes: enough branching to
+// exercise the selection rules without brute-force blowing up.
+lp::Model branching_model(int tasks, int machines, std::vector<int>* bins) {
+  lp::Model m;
+  int z = m.add_var(1.0, 0.0, 1e6);
+  std::vector<std::vector<int>> t(tasks, std::vector<int>(machines));
+  for (int k = 0; k < tasks; ++k)
+    for (int j = 0; j < machines; ++j)
+      bins->push_back(t[k][j] = m.add_binary(0.0));
+  for (int k = 0; k < tasks; ++k) {
+    std::vector<lp::RowEntry> row;
+    for (int j = 0; j < machines; ++j) row.push_back({t[k][j], 1.0});
+    m.add_row(lp::Sense::kEq, 1.0, std::move(row));
+  }
+  for (int j = 0; j < machines; ++j) {
+    std::vector<lp::RowEntry> row{{z, -1.0}};
+    for (int k = 0; k < tasks; ++k)
+      row.push_back({t[k][j], 1.0 + (k * 7 + j * 3) % 5});
+    m.add_row(lp::Sense::kLe, 0.0, std::move(row));
+  }
+  return m;
+}
+
+TEST(Mip, BranchingRulesReachTheSameProvenOptimum) {
+  std::vector<int> bins;
+  lp::Model m = branching_model(9, 3, &bins);
+
+  MipOptions pc;
+  pc.branching = Branching::kPseudoCost;
+  MipOptions mf;
+  mf.branching = Branching::kMostFractional;
+
+  MipSolver s1(m, bins), s2(m, bins);
+  auto r1 = s1.solve(pc);
+  auto r2 = s2.solve(mf);
+  ASSERT_EQ(r1.status, MipStatus::kOptimal);
+  ASSERT_EQ(r2.status, MipStatus::kOptimal);
+  // Different trees, same proven optimum.
+  EXPECT_NEAR(r1.objective, r2.objective, 1e-6);
+  EXPECT_GT(r1.stats.pivots + r1.stats.bound_flips, 0);
+}
+
+TEST(Mip, BestBoundNodeOrderMatchesDepthFirst) {
+  std::vector<int> bins;
+  lp::Model m = branching_model(8, 3, &bins);
+
+  MipOptions dfs;
+  dfs.node_order = NodeOrder::kDepthFirst;
+  MipOptions bb;
+  bb.node_order = NodeOrder::kBestBound;
+
+  MipSolver s1(m, bins), s2(m, bins);
+  auto r1 = s1.solve(dfs);
+  auto r2 = s2.solve(bb);
+  ASSERT_EQ(r1.status, MipStatus::kOptimal);
+  ASSERT_EQ(r2.status, MipStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, r2.objective, 1e-6);
+  // Best-bound terminates with the bound meeting the incumbent.
+  EXPECT_LE(r2.best_bound, r2.objective + 1e-9);
+}
+
+TEST(Mip, StallNodeLimitStopsPolishingWithIncumbent) {
+  std::vector<int> bins;
+  lp::Model m = branching_model(12, 4, &bins);
+
+  // Unlimited run for the reference optimum and node count.
+  MipSolver ref(m, bins);
+  auto full = ref.solve();
+  ASSERT_EQ(full.status, MipStatus::kOptimal);
+
+  MipOptions opts;
+  opts.stall_node_limit = 5;
+  MipSolver s(m, bins);
+  auto r = s.solve(opts);
+  // The stall cutoff can only fire once an incumbent exists, so the result
+  // is never worse than feasible; a cut-short proof downgrades to kFeasible.
+  ASSERT_TRUE(r.status == MipStatus::kOptimal ||
+              r.status == MipStatus::kFeasible);
+  EXPECT_TRUE(std::isfinite(r.objective));
+  EXPECT_GE(r.objective, full.objective - 1e-9);
+  EXPECT_LE(r.nodes, full.nodes);
+}
+
 class RandomMipSweep : public ::testing::TestWithParam<int> {};
 
 // Property test: B&B matches brute-force enumeration on random 0-1 models

@@ -137,6 +137,173 @@ TEST(LpProperties, TimeLimitReturnsIterLimitNotGarbage) {
               r.status == SolveStatus::kIterLimit);
 }
 
+// ---- Sparse-vs-dense differential: the legacy dense basis inverse is the
+// oracle for the sparse LU kernel. Both backends must agree on status and
+// (when optimal) objective on general bounded-variable models. ----
+
+// Random bounded-variable LP with negative lower bounds, mixed row senses
+// and a fraction of zero costs (degeneracy). Feasibility is guaranteed by
+// anchoring every row at an interior point x0.
+Model random_bounded_lp(int n, int rows, std::uint64_t seed) {
+  bsio::Rng rng(seed);
+  Model m;
+  std::vector<double> x0;
+  for (int v = 0; v < n; ++v) {
+    const double lo = rng.uniform_double(-2.0, 0.0);
+    const double up = lo + rng.uniform_double(0.5, 3.0);
+    const double c =
+        rng.bernoulli(0.3) ? 0.0 : rng.uniform_double(-3.0, 3.0);
+    m.add_var(c, lo, up);
+    x0.push_back(lo + rng.uniform_double(0.1, 0.9) * (up - lo));
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<RowEntry> row;
+    double ax = 0.0;
+    for (int v = 0; v < n; ++v)
+      if (rng.bernoulli(0.5)) {
+        const double a = rng.uniform_double(-2.0, 2.0);
+        row.push_back({v, a});
+        ax += a * x0[v];
+      }
+    if (row.empty()) {
+      row.push_back({0, 1.0});
+      ax = x0[0];
+    }
+    const double roll = rng.uniform_double();
+    if (roll < 0.4)
+      m.add_row(Sense::kLe, ax + rng.uniform_double(0.0, 1.5),
+                std::move(row));
+    else if (roll < 0.8)
+      m.add_row(Sense::kGe, ax - rng.uniform_double(0.0, 1.5),
+                std::move(row));
+    else
+      m.add_row(Sense::kEq, ax, std::move(row));
+  }
+  return m;
+}
+
+class SparseVsDense : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseVsDense, RandomBoundedLpsAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Model m = random_bounded_lp(14, 10, seed);
+  SimplexOptions dense_opts;
+  dense_opts.use_dense_basis = true;
+  DualSimplex dense(m, dense_opts);
+  DualSimplex sparse(m);
+  auto rd = dense.solve();
+  auto rs = sparse.solve();
+  ASSERT_EQ(rd.status, rs.status) << "seed " << seed;
+  if (rd.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(rd.objective, rs.objective, 1e-6) << "seed " << seed;
+    auto x = sparse.values();
+    EXPECT_TRUE(m.is_feasible(x, 1e-6)) << "seed " << seed;
+    EXPECT_NEAR(m.objective_value(x), rs.objective, 1e-6) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseVsDense, ::testing::Range(1, 25));
+
+TEST(SparseVsDenseEdge, InfeasibleModelAgreedInfeasible) {
+  Model m = random_bounded_lp(8, 5, 17);
+  // Contradictory pair on var 0: x0 >= upper + 1 is unreachable.
+  m.add_row(Sense::kGe, m.upper(0) + 1.0, {{0, 1.0}});
+  SimplexOptions dense_opts;
+  dense_opts.use_dense_basis = true;
+  DualSimplex dense(m, dense_opts);
+  DualSimplex sparse(m);
+  EXPECT_EQ(dense.solve().status, SolveStatus::kInfeasible);
+  EXPECT_EQ(sparse.solve().status, SolveStatus::kInfeasible);
+}
+
+TEST(SparseVsDenseEdge, DegenerateMakespanModelAgrees) {
+  // The paper's model shape: min z with every other cost zero and identical
+  // unit loads — almost every reduced cost ties at zero, the worst case for
+  // the dual ratio test. 8 tasks x 3 machines.
+  Model m;
+  const int tasks = 8, machines = 3;
+  int z = m.add_var(1.0, 0.0, 100.0);
+  std::vector<std::vector<int>> t(tasks, std::vector<int>(machines));
+  for (int k = 0; k < tasks; ++k)
+    for (int i = 0; i < machines; ++i) t[k][i] = m.add_binary(0.0);
+  for (int k = 0; k < tasks; ++k) {
+    std::vector<RowEntry> row;
+    for (int i = 0; i < machines; ++i) row.push_back({t[k][i], 1.0});
+    m.add_row(Sense::kEq, 1.0, std::move(row));
+  }
+  for (int i = 0; i < machines; ++i) {
+    std::vector<RowEntry> row{{z, -1.0}};
+    for (int k = 0; k < tasks; ++k) row.push_back({t[k][i], 1.0});
+    m.add_row(Sense::kLe, 0.0, std::move(row));
+  }
+  SimplexOptions dense_opts;
+  dense_opts.use_dense_basis = true;
+  DualSimplex dense(m, dense_opts);
+  DualSimplex sparse(m);
+  auto rd = dense.solve();
+  auto rs = sparse.solve();
+  ASSERT_EQ(rd.status, SolveStatus::kOptimal);
+  ASSERT_EQ(rs.status, SolveStatus::kOptimal);
+  // LP relaxation spreads the unit loads perfectly: z* = 8/3.
+  EXPECT_NEAR(rd.objective, 8.0 / 3.0, 1e-7);
+  EXPECT_NEAR(rs.objective, rd.objective, 1e-6);
+}
+
+TEST(SparseVsDenseEdge, BoundChangeWarmRestartAgrees) {
+  // Warm-restart differential: after bound changes that park nonbasic
+  // variables on a dual-infeasible side (forcing restore/bound-flip logic),
+  // the warm-started sparse solve must match a cold dense solve of the
+  // modified model.
+  Model m = random_bounded_lp(12, 8, 123);
+  DualSimplex sparse(m);
+  auto base = sparse.solve();
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  auto x = sparse.values();
+
+  // Shrink each of the first few boxes to the half away from the current
+  // optimal value, evicting the variable from its preferred bound.
+  std::vector<std::pair<double, double>> new_bounds;
+  for (int v = 0; v < m.num_vars(); ++v) {
+    double lo = m.lower(v), up = m.upper(v);
+    if (v < 5) {
+      const double mid = 0.5 * (lo + up);
+      if (x[v] <= mid)
+        lo = mid;  // current value now below the feasible box
+      else
+        up = mid;
+    }
+    new_bounds.push_back({lo, up});
+    sparse.set_bounds(v, lo, up);
+  }
+  auto warm = sparse.solve();
+
+  Model m2;
+  for (int v = 0; v < m.num_vars(); ++v)
+    m2.add_var(m.cost(v), new_bounds[v].first, new_bounds[v].second);
+  for (int r = 0; r < m.num_rows(); ++r) m2.add_row(m.sense(r), m.rhs(r), m.row(r));
+  SimplexOptions dense_opts;
+  dense_opts.use_dense_basis = true;
+  DualSimplex dense(m2, dense_opts);
+  auto cold = dense.solve();
+
+  ASSERT_EQ(warm.status, cold.status);
+  if (warm.status == SolveStatus::kOptimal)
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+}
+
+TEST(SparseVsDenseEdge, SolverStatsPopulated) {
+  Model m = random_bounded_lp(40, 30, 7);
+  SimplexOptions opts;
+  opts.refactor_every = 8;  // force periodic refactorisations mid-solve
+  DualSimplex sparse(m, opts);
+  auto r = sparse.solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_GE(r.stats.factorizations, 1);
+  EXPECT_GT(r.stats.factor_fill_nnz, 0);
+  EXPECT_GT(r.stats.pivots, 0);
+  EXPECT_GE(r.stats.pricing_passes, r.stats.pivots);
+}
+
 TEST(LpProperties, EqualityRowsSatisfiedExactly) {
   bsio::Rng rng(8);
   Model m;
