@@ -105,7 +105,8 @@ void BM_AllocationRootLp(benchmark::State& state) {
   std::vector<wl::TaskId> tasks;
   for (const auto& t : w.tasks()) tasks.push_back(t.id);
   const sched::AllocationModel alloc(
-      w, tasks, sched::coalesce_files(w, tasks, eng.state()), c, {});
+      w, tasks, sched::coalesce_files(w, tasks, eng.state()), eng.topology(),
+      {});
 
   lp::SimplexOptions so;
   so.use_dense_basis = state.range(1) != 0;

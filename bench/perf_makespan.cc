@@ -7,6 +7,12 @@
 // trajectory record: planning wall-time, simulated makespan, and speedup
 // vs 1 thread per (scheduler, batch size, thread count) cell.
 //
+// A second sweep re-runs the four paper schedulers on increasingly
+// heterogeneous clusters (sim::make_skewed_cluster: log-uniform disk / NIC /
+// CPU skew around the homogeneous baseline) and records per-skew makespans
+// in the same JSON, so scheduler robustness to hardware imbalance is part
+// of the perf trajectory.
+//
 //   perf_makespan [--smoke] [--out <path>]
 //
 // --smoke shrinks the grid for CI (small batches, 1-2 threads).
@@ -49,6 +55,16 @@ struct Row {
   long lp_bound_flips = 0;
   long lp_degenerate_pivots = 0;
   long mip_nodes = 0;
+};
+
+// One cell of the heterogeneity sweep.
+struct HeteroRow {
+  std::string scheduler;
+  double skew = 0.0;
+  std::size_t tasks = 0;
+  double planning_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double vs_homogeneous = 0.0;  // makespan / the same scheduler's skew-0 run
 };
 
 struct SchedulerSpec {
@@ -111,6 +127,7 @@ sim::ClusterConfig bench_cluster(std::size_t compute_nodes,
 }
 
 void write_json(const char* path, const std::vector<Row>& rows,
+                const std::vector<HeteroRow>& hetero_rows,
                 std::size_t compute_nodes, bool smoke) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
@@ -148,6 +165,18 @@ void write_json(const char* path, const std::vector<Row>& rows,
                    r.lp_factorizations, r.lp_fill_nnz, r.lp_pivots,
                    r.lp_bound_flips, r.lp_degenerate_pivots, r.mip_nodes);
     std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"hetero_results\": [\n");
+  for (std::size_t i = 0; i < hetero_rows.size(); ++i) {
+    const HeteroRow& r = hetero_rows[i];
+    std::fprintf(f,
+                 "    {\"scheduler\": \"%s\", \"skew\": %.2f, "
+                 "\"tasks\": %zu, \"planning_seconds\": %.6f, "
+                 "\"makespan_seconds\": %.6f, \"vs_homogeneous\": %.4f}%s\n",
+                 r.scheduler.c_str(), r.skew, r.tasks, r.planning_seconds,
+                 r.makespan_seconds, r.vs_homogeneous,
+                 i + 1 < hetero_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -243,8 +272,62 @@ int main(int argc, char** argv) {
     }
   }
 
-  write_json(out_path, rows, compute_nodes, smoke);
-  std::printf("\nwrote %s (%zu rows)\n", out_path, rows.size());
+  // ---- Heterogeneity sweep: same workload, increasingly skewed hardware.
+  // Every scheduler plans through sim::Topology, so skewed disk / NIC / CPU
+  // rates change both the plans and the simulated outcome; the homogeneous
+  // (skew 0) cell doubles as a bit-identity anchor against the main grid.
+  ThreadPool::set_global_threads(1);
+  const std::size_t hetero_tasks = smoke ? 64 : 256;
+  const wl::Workload hw = bench_workload(hetero_tasks, storage_nodes);
+  const std::vector<double> skews =
+      smoke ? std::vector<double>{0.0, 0.5, 1.0}
+            : std::vector<double>{0.0, 0.25, 0.5, 1.0, 2.0};
+  const std::vector<SchedulerSpec> hetero_specs = {
+      {"MinMin", static_cast<std::size_t>(-1), &make_minmin_exact},
+      {"JobDataPresent", static_cast<std::size_t>(-1), &make_jdp},
+      {"BiPartition", static_cast<std::size_t>(-1), &make_bipartition},
+      {"IP", static_cast<std::size_t>(-1), &make_ip},
+  };
+
+  std::printf("\nheterogeneity sweep: %zu tasks, skews {", hetero_tasks);
+  for (double sk : skews) std::printf(" %.2f", sk);
+  std::printf(" }\n");
+  std::printf("%-16s %6s %12s %12s %8s\n", "scheduler", "skew", "plan [s]",
+              "makespan [s]", "vs-homog");
+
+  std::vector<HeteroRow> hetero_rows;
+  for (const auto& spec : hetero_specs) {
+    double homog_makespan = 0.0;
+    for (double sk : skews) {
+      const sim::ClusterConfig hc =
+          sim::make_skewed_cluster(cluster, sk, /*seed=*/5);
+      auto scheduler = spec.make();
+      const sched::BatchRunResult r = sched::run_batch(*scheduler, hw, hc);
+      if (!r.ok()) {
+        std::fprintf(stderr, "perf_makespan: hetero %s skew %.2f failed: %s\n",
+                     spec.label.c_str(), sk, r.error.c_str());
+        return 1;
+      }
+      HeteroRow row;
+      row.scheduler = spec.label;
+      row.skew = sk;
+      row.tasks = hetero_tasks;
+      row.planning_seconds = r.scheduling_seconds;
+      row.makespan_seconds = r.batch_time;
+      if (sk == 0.0) homog_makespan = r.batch_time;
+      row.vs_homogeneous =
+          homog_makespan > 0.0 ? r.batch_time / homog_makespan : 1.0;
+      std::printf("%-16s %6.2f %12.4f %12.2f %7.3fx\n", row.scheduler.c_str(),
+                  row.skew, row.planning_seconds, row.makespan_seconds,
+                  row.vs_homogeneous);
+      std::fflush(stdout);
+      hetero_rows.push_back(std::move(row));
+    }
+  }
+
+  write_json(out_path, rows, hetero_rows, compute_nodes, smoke);
+  std::printf("\nwrote %s (%zu + %zu rows)\n", out_path, rows.size(),
+              hetero_rows.size());
 
   bool all_identical = true;
   for (const Row& r : rows) all_identical = all_identical && r.bit_identical;

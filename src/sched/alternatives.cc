@@ -16,14 +16,14 @@ struct NodeChoice {
   double second_best = std::numeric_limits<double>::infinity();
 };
 
-NodeChoice evaluate(const wl::Workload& w, const sim::ClusterConfig& c,
+NodeChoice evaluate(const wl::Workload& w, const sim::Topology& topo,
                     const PlannerState& ps, wl::TaskId task,
                     const std::vector<wl::NodeId>& nodes) {
   NodeChoice out;
   out.node = nodes.front();
   double best = std::numeric_limits<double>::infinity();
   for (wl::NodeId n : nodes) {
-    CompletionEstimate est = estimate_completion(w, c, ps, task, n);
+    CompletionEstimate est = estimate_completion(w, topo, ps, task, n);
     // Near-ties go to the least-loaded node (storage-dominated estimates
     // make nodes look alike; see the MinMin tie-break rationale).
     const bool first = std::isinf(best);
@@ -52,9 +52,9 @@ template <typename Prefer>
 sim::SubBatchPlan greedy_commit(const std::vector<wl::TaskId>& pending,
                                 const SchedulerContext& ctx, Prefer prefer) {
   const wl::Workload& w = ctx.batch;
-  const sim::ClusterConfig& c = ctx.cluster;
-  PlannerState ps(w, c, ctx.engine.state());
-  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  const sim::Topology& topo = ctx.topology;
+  PlannerState ps(w, topo, ctx.engine.state());
+  const std::vector<wl::NodeId>& nodes = ctx.alive_nodes();
   BSIO_CHECK_MSG(!nodes.empty(), "greedy_commit: no compute node is alive");
 
   sim::SubBatchPlan plan;
@@ -64,7 +64,7 @@ sim::SubBatchPlan greedy_commit(const std::vector<wl::TaskId>& pending,
     NodeChoice best_choice;
     bool first = true;
     for (std::size_t i = 0; i < todo.size(); ++i) {
-      NodeChoice choice = evaluate(w, c, ps, todo[i], nodes);
+      NodeChoice choice = evaluate(w, topo, ps, todo[i], nodes);
       if (first || prefer(choice, best_choice)) {
         first = false;
         best_i = i;
@@ -72,7 +72,7 @@ sim::SubBatchPlan greedy_commit(const std::vector<wl::TaskId>& pending,
       }
     }
     const wl::TaskId task = todo[best_i];
-    apply_assignment(w, c, ps, task, best_choice.node, best_choice.est);
+    apply_assignment(w, topo, ps, task, best_choice.node, best_choice.est);
     plan.tasks.push_back(task);
     plan.assignment[task] = best_choice.node;
     todo.erase(todo.begin() + best_i);

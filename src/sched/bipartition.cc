@@ -36,15 +36,15 @@ hg::Hypergraph build_hypergraph(const wl::Workload& w,
 
 std::vector<wl::NodeId> bipartition_map_tasks(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-    const sim::ClusterConfig& cluster, const BiPartitionOptions& options,
+    const sim::Topology& topo, const BiPartitionOptions& options,
     const std::vector<wl::NodeId>& nodes, ExecTimeScratch* scratch) {
   const auto weights =
       options.probabilistic_weights
-          ? probabilistic_exec_times(w, tasks, cluster, scratch)
-          : plain_exec_times(w, tasks, cluster);
+          ? probabilistic_exec_times(w, tasks, topo, scratch)
+          : plain_exec_times(w, tasks, topo);
   hg::Hypergraph h = build_hypergraph(w, tasks, weights);
   const std::size_t k =
-      nodes.empty() ? cluster.num_compute_nodes : nodes.size();
+      nodes.empty() ? topo.config().num_compute_nodes : nodes.size();
   auto parts =
       hg::partition_kway(h, static_cast<int>(k), options.partitioner);
   std::vector<wl::NodeId> map(tasks.size());
@@ -58,7 +58,8 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& cluster = ctx.cluster;
-  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  const sim::Topology& topo = ctx.topology;
+  const std::vector<wl::NodeId>& nodes = ctx.alive_nodes();
   BSIO_CHECK_MSG(!nodes.empty(), "BiPartition: no compute node is alive");
 
   // --- Level 1: sub-batch selection via BINW. ---
@@ -73,8 +74,8 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
     const double bound = aggregate * options_.aggregate_bound_fraction;
     const auto weights =
         options_.probabilistic_weights
-            ? probabilistic_exec_times(w, pending, cluster, &exec_scratch_)
-            : plain_exec_times(w, pending, cluster);
+            ? probabilistic_exec_times(w, pending, topo, &exec_scratch_)
+            : plain_exec_times(w, pending, topo);
     hg::Hypergraph h = build_hypergraph(w, pending, weights);
     hg::BinwResult binw = hg::partition_binw(h, bound, options_.partitioner);
 
@@ -94,7 +95,7 @@ sim::SubBatchPlan BiPartitionScheduler::plan_sub_batch(
 
   // --- Level 2: K-way task mapping onto the surviving nodes. ---
   std::vector<wl::NodeId> map = bipartition_map_tasks(
-      w, sub_batch, cluster, options_, nodes, &exec_scratch_);
+      w, sub_batch, topo, options_, nodes, &exec_scratch_);
 
   sim::SubBatchPlan plan;
   plan.tasks = sub_batch;

@@ -51,7 +51,7 @@ class BiPartitionScheduler : public Scheduler {
 // null.
 std::vector<wl::NodeId> bipartition_map_tasks(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-    const sim::ClusterConfig& cluster, const BiPartitionOptions& options,
+    const sim::Topology& topo, const BiPartitionOptions& options,
     const std::vector<wl::NodeId>& nodes = {},
     ExecTimeScratch* scratch = nullptr);
 

@@ -10,7 +10,8 @@ namespace bsio::sched {
 
 std::vector<double> probabilistic_exec_times(
     const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-    const sim::ClusterConfig& c, ExecTimeScratch* scratch) {
+    const sim::Topology& topo, ExecTimeScratch* scratch) {
+  const sim::ClusterConfig& c = topo.config();
   // Sharing degree s_j within the sub-batch, in a dense per-file buffer.
   // The scratch is left all-zero on exit so repeated calls (the BiPartition
   // level-1/level-2 loops) never refill or rehash a map.
@@ -26,23 +27,74 @@ std::vector<double> probabilistic_exec_times(
 
   const double T = static_cast<double>(tasks.size());
   const double K = static_cast<double>(c.num_compute_nodes);
-  const double bw_s = c.remote_bw();
-  const double bw_c = c.replica_bw();
-  const double slow_bw = std::min(bw_s, bw_c);  // Eq. 25's denominator
 
   std::vector<double> out;
   out.reserve(tasks.size());
-  for (wl::TaskId t : tasks) {
-    double exec = w.task(t).compute_seconds;
-    for (wl::FileId f : w.task(t).files) {
-      const double s_j = s.sharers[f];
-      const double p_fne = 1.0 / s_j;             // first to need the file
-      const double p_fe = (s_j / T) * (1.0 / K);  // already on my node
-      const double tr =
-          p_fne / bw_s + (1.0 - p_fne) * (1.0 - p_fe) / slow_bw;  // Eq. 25
-      exec += w.file_size(f) * (tr + 1.0 / c.local_disk_bw);      // Eq. 26
+
+  if (topo.uniform()) {
+    // The classic uniform Eq. 25-26, arithmetic preserved verbatim for the
+    // homogeneous bit-identity contract.
+    const double bw_s = topo.uniform_remote_bw();
+    const double bw_c = topo.uniform_replica_bw();
+    const double slow_bw = std::min(bw_s, bw_c);  // Eq. 25's denominator
+    for (wl::TaskId t : tasks) {
+      double exec = w.task(t).compute_seconds;
+      for (wl::FileId f : w.task(t).files) {
+        const double s_j = s.sharers[f];
+        const double p_fne = 1.0 / s_j;             // first to need the file
+        const double p_fe = (s_j / T) * (1.0 / K);  // already on my node
+        const double tr =
+            p_fne / bw_s + (1.0 - p_fne) * (1.0 - p_fe) / slow_bw;  // Eq. 25
+        exec += w.file_size(f) * (tr + 1.0 / c.local_disk_bw);      // Eq. 26
+      }
+      out.push_back(exec);
     }
-    out.push_back(exec);
+  } else {
+    // Heterogeneous Eq. 25-26: the equations assume uniform placement over
+    // the K nodes, so each per-node rate is replaced by its expectation
+    // under that distribution — the mean inverse remote bandwidth out of
+    // the file's home, the mean inverse "slowest transfer into i" (remote
+    // vs worst replica source), and the mean inverse CPU speed.
+    const std::size_t C = c.num_compute_nodes;
+    const std::size_t S = c.num_storage_nodes;
+    // Worst replica bandwidth into each node (the Eq. 25 pessimistic
+    // source when the file exists but not locally).
+    std::vector<double> worst_repl_into(C,
+                                        std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < C; ++i)
+      for (std::size_t j = 0; j < C; ++j)
+        if (j != i)
+          worst_repl_into[i] =
+              std::min(worst_repl_into[i], topo.replica_bw(j, i));
+    std::vector<double> mean_rem_inv(S, 0.0);   // E_i[1 / bw_s(h, i)]
+    std::vector<double> mean_slow_inv(S, 0.0);  // E_i[1 / slow_bw(h, i)]
+    for (std::size_t h = 0; h < S; ++h) {
+      for (std::size_t i = 0; i < C; ++i) {
+        const double rem = topo.remote_bw(h, i);
+        mean_rem_inv[h] += 1.0 / rem;
+        const double slow = C > 1 ? std::min(rem, worst_repl_into[i]) : rem;
+        mean_slow_inv[h] += 1.0 / slow;
+      }
+      mean_rem_inv[h] /= K;
+      mean_slow_inv[h] /= K;
+    }
+    double mean_speed_inv = 0.0;
+    for (std::size_t i = 0; i < C; ++i) mean_speed_inv += 1.0 / topo.cpu_speed(i);
+    mean_speed_inv /= K;
+
+    for (wl::TaskId t : tasks) {
+      double exec = w.task(t).compute_seconds * mean_speed_inv;
+      for (wl::FileId f : w.task(t).files) {
+        const double s_j = s.sharers[f];
+        const double p_fne = 1.0 / s_j;
+        const double p_fe = (s_j / T) * (1.0 / K);
+        const wl::NodeId h = w.file(f).home_storage_node;
+        const double tr = p_fne * mean_rem_inv[h] +
+                          (1.0 - p_fne) * (1.0 - p_fe) * mean_slow_inv[h];
+        exec += w.file_size(f) * (tr + 1.0 / c.local_disk_bw);
+      }
+      out.push_back(exec);
+    }
   }
 
   for (wl::FileId f : s.touched) s.sharers[f] = 0.0;
@@ -52,11 +104,21 @@ std::vector<double> probabilistic_exec_times(
 
 std::vector<double> plain_exec_times(const wl::Workload& w,
                                      const std::vector<wl::TaskId>& tasks,
-                                     const sim::ClusterConfig& c) {
+                                     const sim::Topology& topo) {
+  const sim::ClusterConfig& c = topo.config();
+  double mean_speed_inv = 1.0;
+  if (!topo.uniform_speed()) {
+    mean_speed_inv = 0.0;
+    for (std::size_t i = 0; i < c.num_compute_nodes; ++i)
+      mean_speed_inv += 1.0 / topo.cpu_speed(i);
+    mean_speed_inv /= static_cast<double>(c.num_compute_nodes);
+  }
   std::vector<double> out;
   out.reserve(tasks.size());
   for (wl::TaskId t : tasks) {
-    double exec = w.task(t).compute_seconds;
+    double exec = topo.uniform_speed()
+                      ? w.task(t).compute_seconds
+                      : w.task(t).compute_seconds * mean_speed_inv;
     for (wl::FileId f : w.task(t).files)
       exec += w.file_size(f) / c.local_disk_bw;
     out.push_back(exec);
@@ -64,16 +126,17 @@ std::vector<double> plain_exec_times(const wl::Workload& w,
   return out;
 }
 
-PlannerState::PlannerState(const wl::Workload& w, const sim::ClusterConfig& c,
+PlannerState::PlannerState(const wl::Workload& w, const sim::Topology& topo,
                            const sim::ClusterState& current) {
-  reset(w, c, current);
+  reset(w, topo, current);
 }
 
-void PlannerState::reset(const wl::Workload& w, const sim::ClusterConfig& c,
+void PlannerState::reset(const wl::Workload& w, const sim::Topology& topo,
                          const sim::ClusterState& current) {
+  const sim::ClusterConfig& c = topo.config();
   node_ready.assign(c.num_compute_nodes, 0.0);
   storage_ready.assign(c.num_storage_nodes, 0.0);
-  uplink_ready = 0.0;
+  link_ready.assign(topo.num_links(), 0.0);
 
   planned.resize(w.num_files());
   for (auto& holders : planned) holders.clear();
@@ -110,9 +173,10 @@ namespace {
 // false; the completion value is bit-identical between the two because the
 // floating-point operations are literally the same instructions.
 template <bool kRecordStages>
-double estimate_core(const wl::Workload& w, const sim::ClusterConfig& c,
+double estimate_core(const wl::Workload& w, const sim::Topology& topo,
                      const PlannerState& ps, wl::TaskId task, wl::NodeId node,
                      CompletionEstimate* est) {
+  const sim::ClusterConfig& c = topo.config();
   const auto& info = w.task(task);
   double cursor = ps.node_ready[node];
   const double start = cursor;
@@ -123,16 +187,22 @@ double estimate_core(const wl::Workload& w, const sim::ClusterConfig& c,
     if (ps.on_node(f, node)) continue;
 
     const wl::NodeId home = w.file(f).home_storage_node;
+    const sim::TransferPath rp = topo.remote_path(home, node);
+    double link_busy = 0.0;
+    for (std::uint32_t l = 0; l < rp.num_links; ++l)
+      link_busy = std::max(link_busy, ps.link_ready[rp.links[l]]);
     double remote_start =
-        std::max({cursor, ps.storage_ready[home],
-                  c.shared_uplink_bw > 0.0 ? ps.uplink_ready : 0.0});
-    double best_arrival = remote_start + size / c.remote_bw();
+        std::max({cursor, ps.storage_ready[home], link_busy});
+    double best_arrival = remote_start + size / rp.bandwidth;
     CompletionEstimate::Stage stage{f, home, true, best_arrival};
     if (c.allow_replication) {
       for (const auto& [holder, avail] : ps.planned[f]) {
         if (holder == node) continue;
-        double arr = std::max({cursor, ps.node_ready[holder], avail}) +
-                     size / c.replica_bw();
+        const sim::TransferPath pp = topo.replica_path(holder, node);
+        double arr = std::max({cursor, ps.node_ready[holder], avail});
+        for (std::uint32_t l = 0; l < pp.num_links; ++l)
+          arr = std::max(arr, ps.link_ready[pp.links[l]]);
+        arr += size / pp.bandwidth;
         if (arr < best_arrival) {
           best_arrival = arr;
           stage = {f, holder, false, arr};
@@ -143,42 +213,48 @@ double estimate_core(const wl::Workload& w, const sim::ClusterConfig& c,
     cursor = best_arrival;
   }
   if constexpr (kRecordStages) est->transfer_seconds = cursor - start;
-  return cursor + read_bytes / c.local_disk_bw + info.compute_seconds;
+  return cursor + read_bytes / c.local_disk_bw +
+         info.compute_seconds / topo.cpu_speed(node);
 }
 
 }  // namespace
 
 CompletionEstimate estimate_completion(const wl::Workload& w,
-                                       const sim::ClusterConfig& c,
-                                       const PlannerState& ps,
-                                       wl::TaskId task, wl::NodeId node) {
+                                       const sim::Topology& topo,
+                                       const PlannerState& ps, wl::TaskId task,
+                                       wl::NodeId node) {
   CompletionEstimate est;
-  est.completion = estimate_core<true>(w, c, ps, task, node, &est);
+  est.completion = estimate_core<true>(w, topo, ps, task, node, &est);
   return est;
 }
 
 double estimate_completion_time(const wl::Workload& w,
-                                const sim::ClusterConfig& c,
+                                const sim::Topology& topo,
                                 const PlannerState& ps, wl::TaskId task,
                                 wl::NodeId node) {
-  return estimate_core<false>(w, c, ps, task, node, nullptr);
+  return estimate_core<false>(w, topo, ps, task, node, nullptr);
 }
 
-void apply_assignment(const wl::Workload& /*w*/, const sim::ClusterConfig& c,
+void apply_assignment(const wl::Workload& w, const sim::Topology& topo,
                       PlannerState& ps, wl::TaskId /*task*/, wl::NodeId node,
                       const CompletionEstimate& est) {
   for (const auto& s : est.stages) {
+    sim::TransferPath path;
     if (s.remote) {
       ps.storage_ready[s.src] = std::max(ps.storage_ready[s.src], s.arrival);
-      if (c.shared_uplink_bw > 0.0)
-        ps.uplink_ready = std::max(ps.uplink_ready, s.arrival);
+      path = topo.remote_path(s.src, node);
     } else {
       ps.node_ready[s.src] = std::max(ps.node_ready[s.src], s.arrival);
+      path = topo.replica_path(s.src, node);
     }
+    for (std::uint32_t l = 0; l < path.num_links; ++l)
+      ps.link_ready[path.links[l]] =
+          std::max(ps.link_ready[path.links[l]], s.arrival);
     // Implicit replication: every staged copy becomes a future source.
     ps.add_planned(s.file, node, s.arrival);
   }
   ps.node_ready[node] = est.completion;
+  (void)w;
 }
 
 }  // namespace bsio::sched

@@ -6,6 +6,11 @@
 // ablation toggle). estimate_completion is the MCT-style estimate MinMin
 // and JobDataPresent plan against.
 //
+// All transfer bandwidths resolve through sim::Topology, so the estimates
+// price heterogeneous storage disks, NIC caps, CPU speeds, and rack links
+// with the same model the engine simulates. On homogeneous topologies every
+// expression reduces bit-identically to the classic uniform arithmetic.
+//
 // Concurrency contract: estimate_completion / estimate_completion_time take
 // the PlannerState by const reference and perform no mutation, so any number
 // of threads may evaluate candidate (task, node) pairs against one shared
@@ -16,8 +21,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/cluster.h"
 #include "sim/state.h"
+#include "sim/topology.h"
 #include "workload/types.h"
 
 namespace bsio::sched {
@@ -37,17 +42,19 @@ struct ExecTimeScratch {
 // K = number of compute nodes. Entries align with `tasks`. The task's
 // measured compute_seconds stands in for the paper's per-byte compute
 // constant C (the emulators derive one from the other linearly).
+// On heterogeneous topologies the per-node quantities (remote bandwidth
+// into node i, slowest transfer into node i, CPU speed) are averaged over
+// the uniform placement distribution the equations already assume.
 // `scratch` may be null (a local buffer is used).
-std::vector<double> probabilistic_exec_times(const wl::Workload& w,
-                                             const std::vector<wl::TaskId>& tasks,
-                                             const sim::ClusterConfig& c,
-                                             ExecTimeScratch* scratch = nullptr);
+std::vector<double> probabilistic_exec_times(
+    const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
+    const sim::Topology& topo, ExecTimeScratch* scratch = nullptr);
 
 // Plain vertex weights (compute + local read only), the ablation
 // counterpart of the probabilistic weights.
 std::vector<double> plain_exec_times(const wl::Workload& w,
                                      const std::vector<wl::TaskId>& tasks,
-                                     const sim::ClusterConfig& c);
+                                     const sim::Topology& topo);
 
 // Planner bookkeeping for MCT estimates: estimated ready times of every
 // port plus planned file locations. MinMin / JDP mutate one of these as
@@ -65,7 +72,9 @@ std::vector<double> plain_exec_times(const wl::Workload& w,
 struct PlannerState {
   std::vector<double> node_ready;     // per compute node
   std::vector<double> storage_ready;  // per storage node
-  double uplink_ready = 0.0;
+  // Estimated ready time of every shared link, indexed by Topology link id
+  // (the global uplink, then the rack uplinks).
+  std::vector<double> link_ready;
   // planned[f] = nodes expected to hold f, with availability time.
   // Read-only for planners; mutate via add_planned.
   std::vector<std::vector<std::pair<wl::NodeId, double>>> planned;
@@ -74,12 +83,12 @@ struct PlannerState {
   std::vector<std::vector<wl::FileId>> node_files;
 
   PlannerState() = default;
-  PlannerState(const wl::Workload& w, const sim::ClusterConfig& c,
+  PlannerState(const wl::Workload& w, const sim::Topology& topo,
                const sim::ClusterState& current);
 
-  // Re-initializes against a (possibly different) workload / cluster /
+  // Re-initializes against a (possibly different) workload / topology /
   // cache state, reusing the allocated buffers.
-  void reset(const wl::Workload& w, const sim::ClusterConfig& c,
+  void reset(const wl::Workload& w, const sim::Topology& topo,
              const sim::ClusterState& current);
 
   // Records that node n is planned to hold file f from time `avail` on.
@@ -113,21 +122,21 @@ struct CompletionEstimate {
 // already planned on the node are free; others arrive from the best of the
 // remote home or any planned replica holder, serialized on the node port.
 CompletionEstimate estimate_completion(const wl::Workload& w,
-                                       const sim::ClusterConfig& c,
-                                       const PlannerState& ps,
-                                       wl::TaskId task, wl::NodeId node);
+                                       const sim::Topology& topo,
+                                       const PlannerState& ps, wl::TaskId task,
+                                       wl::NodeId node);
 
 // Completion time only — the exact same arithmetic as estimate_completion
 // (both instantiate one shared core) without recording stages, so the hot
 // parallel sweeps allocate nothing. estimate_completion(...).completion is
 // bit-identical to this value.
 double estimate_completion_time(const wl::Workload& w,
-                                const sim::ClusterConfig& c,
+                                const sim::Topology& topo,
                                 const PlannerState& ps, wl::TaskId task,
                                 wl::NodeId node);
 
 // Applies the estimate: bumps port readies and records new file locations.
-void apply_assignment(const wl::Workload& w, const sim::ClusterConfig& c,
+void apply_assignment(const wl::Workload& w, const sim::Topology& topo,
                       PlannerState& ps, wl::TaskId task, wl::NodeId node,
                       const CompletionEstimate& est);
 

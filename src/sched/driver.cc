@@ -27,6 +27,31 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
     result.tasks_stranded = workload.num_tasks();
     return result;
   }
+  // Up-front feasibility (paper Section 4.2): a task's whole file set must
+  // fit on one compute node, or staging can never complete — fail here with
+  // a typed error instead of deep inside the engine's eviction loop. Checked
+  // against the smallest node so the guarantee survives crashes (the minimum
+  // over any alive subset is no smaller than the minimum over all nodes).
+  {
+    double min_cap = cluster.node_disk_capacity(0);
+    for (std::size_t n = 1; n < cluster.num_compute_nodes; ++n)
+      min_cap = std::min(min_cap, cluster.node_disk_capacity(n));
+    for (const auto& t : workload.tasks()) {
+      double bytes = 0.0;
+      for (wl::FileId f : t.files) bytes += workload.file_size(f);
+      if (bytes > min_cap) {
+        result.error = "task " + std::to_string(t.id) + " needs " +
+                       std::to_string(bytes) +
+                       " bytes of input but the smallest compute node disk "
+                       "holds " +
+                       std::to_string(min_cap) +
+                       " (a task's file set must fit on one node, paper "
+                       "Section 4.2)";
+        result.tasks_stranded = workload.num_tasks();
+        return result;
+      }
+    }
+  }
 
   sim::ExecutionEngine engine(
       cluster, workload,
@@ -43,6 +68,10 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
       result.tasks_stranded = pending.size();
       break;
     }
+
+    // Liveness only changes while the engine executes; one refresh per
+    // round gives every planner sweep a stable const view.
+    ctx.refresh_alive();
 
     WallTimer timer;
     sim::SubBatchPlan plan = scheduler.plan_sub_batch(pending, ctx);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <unordered_map>
 
@@ -22,13 +23,34 @@ std::vector<std::vector<std::size_t>> groups_of_tasks(
   return out;
 }
 
-// Task compute cost as the model sees it: CPU plus the local read of its
-// inputs (both serialized on the node, Eq. 12).
-double model_comp(const wl::Workload& w, const sim::ClusterConfig& c,
-                  wl::TaskId t) {
+// Task compute cost as the model sees it: CPU (scaled by the node's speed
+// factor) plus the local read of its inputs (both serialized on the node,
+// Eq. 12).
+double model_comp(const wl::Workload& w, const sim::Topology& topo,
+                  wl::TaskId t, std::size_t node) {
   double bytes = 0.0;
   for (wl::FileId f : w.task(t).files) bytes += w.file_size(f);
-  return w.task(t).compute_seconds + bytes / c.local_disk_bw;
+  return w.task(t).compute_seconds / topo.cpu_speed(node) +
+         bytes / topo.config().local_disk_bw;
+}
+
+// True when the shared link l lies on the remote path into compute node i
+// (link sets do not depend on the storage endpoint).
+bool remote_crosses(const sim::Topology& topo, std::size_t l, std::size_t i) {
+  const sim::TransferPath p = topo.remote_path(0, static_cast<wl::NodeId>(i));
+  for (std::uint32_t k = 0; k < p.num_links; ++k)
+    if (p.links[k] == l) return true;
+  return false;
+}
+
+// True when the shared link l lies on the replication path i -> j.
+bool replica_crosses(const sim::Topology& topo, std::size_t l, std::size_t i,
+                     std::size_t j) {
+  const sim::TransferPath p = topo.replica_path(static_cast<wl::NodeId>(i),
+                                                static_cast<wl::NodeId>(j));
+  for (std::uint32_t k = 0; k < p.num_links; ++k)
+    if (p.links[k] == l) return true;
+  return false;
 }
 
 }  // namespace
@@ -90,28 +112,55 @@ bool AllocationModel::present(std::size_t g, std::size_t i) const {
 AllocationModel::AllocationModel(const wl::Workload& w,
                                  const std::vector<wl::TaskId>& tasks,
                                  std::vector<FileGroup> groups,
-                                 const sim::ClusterConfig& cluster,
+                                 const sim::Topology& topo,
                                  const IpFormulationOptions& opts)
     : w_(w),
       tasks_(tasks),
       groups_(std::move(groups)),
-      cluster_(cluster),
+      topo_(topo),
       opts_(opts),
-      C_(cluster.num_compute_nodes) {
+      C_(topo.config().num_compute_nodes) {
   const std::size_t K = tasks_.size();
   const std::size_t G = groups_.size();
-  const double t_rem = 1.0 / cluster_.remote_bw();
-  const double t_rep = 1.0 / cluster_.replica_bw();
-  const bool rep = cluster_.allow_replication;
+  // Worst-case (slowest-path) per-byte costs; on a uniform topology these
+  // ARE the per-byte costs, bit-identical to the historical
+  // 1 / remote_bw() and 1 / replica_bw().
+  const double t_rem = 1.0 / topo_.min_remote_bw();
+  const double t_rep = 1.0 / topo_.min_replica_bw();
+  const bool uni_rem = topo_.uniform_remote();
+  const bool uni_rep = topo_.uniform_replica();
+  const bool rep = topo_.config().allow_replication;
+  // Per-path transfer seconds for one copy of group g. The uniform branches
+  // reproduce the historical t * bytes arithmetic verbatim.
+  auto rem_secs = [&](std::size_t g, std::size_t i) {
+    if (uni_rem) return t_rem * groups_[g].bytes;
+    double sec = 0.0;
+    for (wl::FileId f : groups_[g].files)
+      sec += w_.file_size(f) /
+             topo_.remote_bw(w_.file(f).home_storage_node,
+                             static_cast<wl::NodeId>(i));
+    return sec;
+  };
+  auto rep_secs = [&](std::size_t g, std::size_t i, std::size_t j) {
+    if (uni_rep) return t_rep * groups_[g].bytes;
+    return groups_[g].bytes / topo_.replica_bw(static_cast<wl::NodeId>(i),
+                                               static_cast<wl::NodeId>(j));
+  };
 
   present_.assign(G, std::vector<char>(C_, 0));
   for (std::size_t g = 0; g < G; ++g)
     for (wl::NodeId n : groups_[g].present_on)
       if (n < C_) present_[g][n] = 1;
 
-  // Upper bound on the makespan surrogate: everything serial.
+  // Upper bound on the makespan surrogate: everything serial, priced at
+  // the slowest node / slowest path.
   double ub = 0.0;
-  for (wl::TaskId t : tasks_) ub += model_comp(w_, cluster_, t);
+  for (wl::TaskId t : tasks_) {
+    double comp = model_comp(w_, topo_, t, 0);
+    for (std::size_t i = 1; i < C_; ++i)
+      comp = std::max(comp, model_comp(w_, topo_, t, i));
+    ub += comp;
+  }
   for (const auto& g : groups_)
     ub += g.bytes * (t_rem + 2.0 * static_cast<double>(C_) * t_rep);
   z_ = model_.add_var(1.0, 0.0, ub);
@@ -132,14 +181,16 @@ AllocationModel::AllocationModel(const wl::Workload& w,
     for (std::size_t i = 0; i < C_; ++i) {
       if (!present(g, i)) {
         x_vars_[g * C_ + i] = model_.add_binary(0.0);
-        r_vars_[g * C_ + i] = model_.add_binary(eps_rem);
+        r_vars_[g * C_ + i] = model_.add_binary(
+            uni_rem ? eps_rem : opts_.transfer_epsilon * rem_secs(g, i));
         integer_vars_.push_back(x_vars_[g * C_ + i]);
         integer_vars_.push_back(r_vars_[g * C_ + i]);
       }
       if (rep)
         for (std::size_t j = 0; j < C_; ++j) {
           if (i == j || present(g, j)) continue;  // never copy onto a holder
-          y_vars_[(g * C_ + i) * C_ + j] = model_.add_binary(eps_rep);
+          y_vars_[(g * C_ + i) * C_ + j] = model_.add_binary(
+              uni_rep ? eps_rep : opts_.transfer_epsilon * rep_secs(g, i, j));
           integer_vars_.push_back(y_vars_[(g * C_ + i) * C_ + j]);
         }
     }
@@ -238,7 +289,7 @@ AllocationModel::AllocationModel(const wl::Workload& w,
   // (21) per-node disk capacity; existing copies of sub-batch files count
   // as consumed.
   for (std::size_t i = 0; i < C_; ++i) {
-    const double cap = cluster_.node_disk_capacity(i);
+    const double cap = topo_.config().node_disk_capacity(i);
     if (!std::isfinite(cap)) continue;
     double consumed = 0.0;
     std::vector<lp::RowEntry> row;
@@ -252,35 +303,40 @@ AllocationModel::AllocationModel(const wl::Workload& w,
     model_.add_row(lp::Sense::kLe, cap - consumed, std::move(row));
   }
 
-  // Shared-uplink row: when all remote transfers serialize through one
-  // link (the OSUMED system), z is also bounded below by the total remote
-  // volume over that link. The paper's per-node formulation cannot see a
-  // shared resource; without this row the model underprices remote
-  // transfers exactly when they are most expensive.
-  if (cluster_.shared_uplink_bw > 0.0) {
-    const double t_up = 1.0 / cluster_.shared_uplink_bw;
+  // Shared-link rows: every shared link of the topology (the global
+  // uplink, the rack uplinks) serializes all transfers crossing it, so z is
+  // also bounded below by each link's total traffic. The paper's per-node
+  // formulation cannot see a shared resource; without these rows the model
+  // underprices remote transfers exactly when they are most expensive.
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    const double t_up = 1.0 / topo_.link_bw(l);
     std::vector<lp::RowEntry> row{{z_, -1.0}};
     for (std::size_t g = 0; g < groups_.size(); ++g)
-      for (std::size_t i = 0; i < C_; ++i)
-        if (var_R(g, i) >= 0)
+      for (std::size_t i = 0; i < C_; ++i) {
+        if (var_R(g, i) >= 0 && remote_crosses(topo_, l, i))
           row.push_back({var_R(g, i), t_up * groups_[g].bytes});
-    model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
+        if (rep)
+          for (std::size_t j = 0; j < C_; ++j)
+            if (var_Y(g, i, j) >= 0 && replica_crosses(topo_, l, i, j))
+              row.push_back({var_Y(g, i, j), t_up * groups_[g].bytes});
+      }
+    if (row.size() > 1) model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
   }
 
   // z >= Computation_i + Remote_i + Replication_i (Eqs. 9-13).
   for (std::size_t i = 0; i < C_; ++i) {
     std::vector<lp::RowEntry> row{{z_, -1.0}};
     for (std::size_t k = 0; k < K; ++k)
-      row.push_back({var_T(k, i), model_comp(w_, cluster_, tasks_[k])});
+      row.push_back({var_T(k, i), model_comp(w_, topo_, tasks_[k], i)});
     for (std::size_t g = 0; g < groups_.size(); ++g) {
       if (var_R(g, i) >= 0)
-        row.push_back({var_R(g, i), t_rem * groups_[g].bytes});
+        row.push_back({var_R(g, i), rem_secs(g, i)});
       if (rep)
         for (std::size_t j = 0; j < C_; ++j) {
           if (var_Y(g, i, j) >= 0)
-            row.push_back({var_Y(g, i, j), t_rep * groups_[g].bytes});
+            row.push_back({var_Y(g, i, j), rep_secs(g, i, j)});
           if (var_Y(g, j, i) >= 0)
-            row.push_back({var_Y(g, j, i), t_rep * groups_[g].bytes});
+            row.push_back({var_Y(g, j, i), rep_secs(g, j, i)});
         }
     }
     model_.add_row(lp::Sense::kLe, 0.0, std::move(row));
@@ -321,40 +377,63 @@ std::vector<double> AllocationModel::incumbent_from_mapping(
     for (std::size_t j = 0; j < C_; ++j) {
       if (static_cast<int>(j) == root || !needed[j] || present(g, j)) continue;
       x[var_X(g, j)] = 1.0;
-      if (cluster_.allow_replication && var_Y(g, root, j) >= 0)
+      if (topo_.config().allow_replication && var_Y(g, root, j) >= 0)
         x[var_Y(g, root, j)] = 1.0;
       else
         x[var_R(g, j)] = 1.0;
     }
   }
 
-  // The makespan surrogate: max node cost under this point.
-  const double t_rem = 1.0 / cluster_.remote_bw();
-  const double t_rep = 1.0 / cluster_.replica_bw();
+  // The makespan surrogate: max node cost under this point. Uniform
+  // topologies keep the historical t * bytes arithmetic verbatim.
+  const double t_rem = 1.0 / topo_.min_remote_bw();
+  const double t_rep = 1.0 / topo_.min_replica_bw();
+  const bool uni_rem = topo_.uniform_remote();
+  const bool uni_rep = topo_.uniform_replica();
+  auto rem_secs = [&](std::size_t g, std::size_t i) {
+    if (uni_rem) return t_rem * groups_[g].bytes;
+    double sec = 0.0;
+    for (wl::FileId f : groups_[g].files)
+      sec += w_.file_size(f) /
+             topo_.remote_bw(w_.file(f).home_storage_node,
+                             static_cast<wl::NodeId>(i));
+    return sec;
+  };
+  auto rep_secs = [&](std::size_t g, std::size_t i, std::size_t j) {
+    if (uni_rep) return t_rep * groups_[g].bytes;
+    return groups_[g].bytes / topo_.replica_bw(static_cast<wl::NodeId>(i),
+                                               static_cast<wl::NodeId>(j));
+  };
   double z = 0.0;
   for (std::size_t i = 0; i < C_; ++i) {
     double load = 0.0;
     for (std::size_t k = 0; k < tasks_.size(); ++k)
-      if (map[k] == i) load += model_comp(w_, cluster_, tasks_[k]);
+      if (map[k] == i) load += model_comp(w_, topo_, tasks_[k], i);
     for (std::size_t g = 0; g < groups_.size(); ++g) {
       if (var_R(g, i) >= 0 && x[var_R(g, i)] > 0.5)
-        load += t_rem * groups_[g].bytes;
+        load += rem_secs(g, i);
       for (std::size_t j = 0; j < C_; ++j) {
         if (var_Y(g, i, j) >= 0 && x[var_Y(g, i, j)] > 0.5)
-          load += t_rep * groups_[g].bytes;
+          load += rep_secs(g, i, j);
         if (var_Y(g, j, i) >= 0 && x[var_Y(g, j, i)] > 0.5)
-          load += t_rep * groups_[g].bytes;
+          load += rep_secs(g, j, i);
       }
     }
     z = std::max(z, load);
   }
-  if (cluster_.shared_uplink_bw > 0.0) {
-    double uplink = 0.0;
+  for (std::size_t l = 0; l < topo_.num_links(); ++l) {
+    double traffic = 0.0;
     for (std::size_t g = 0; g < groups_.size(); ++g)
-      for (std::size_t i = 0; i < C_; ++i)
-        if (var_R(g, i) >= 0 && x[var_R(g, i)] > 0.5)
-          uplink += groups_[g].bytes / cluster_.shared_uplink_bw;
-    z = std::max(z, uplink);
+      for (std::size_t i = 0; i < C_; ++i) {
+        if (var_R(g, i) >= 0 && x[var_R(g, i)] > 0.5 &&
+            remote_crosses(topo_, l, i))
+          traffic += groups_[g].bytes / topo_.link_bw(l);
+        for (std::size_t j = 0; j < C_; ++j)
+          if (var_Y(g, i, j) >= 0 && x[var_Y(g, i, j)] > 0.5 &&
+              replica_crosses(topo_, l, i, j))
+            traffic += groups_[g].bytes / topo_.link_bw(l);
+      }
+    z = std::max(z, traffic);
   }
   x[z_] = z;
   return x;
@@ -408,14 +487,14 @@ int SelectionModel::var_X(std::size_t g, std::size_t i) const {
 SelectionModel::SelectionModel(const wl::Workload& w,
                                const std::vector<wl::TaskId>& tasks,
                                std::vector<FileGroup> groups,
-                               const sim::ClusterConfig& cluster,
+                               const sim::Topology& topo,
                                const IpFormulationOptions& opts)
     : w_(w),
       tasks_(tasks),
       groups_(std::move(groups)),
-      cluster_(cluster),
+      topo_(topo),
       opts_(opts),
-      C_(cluster.num_compute_nodes) {
+      C_(topo.config().num_compute_nodes) {
   const std::size_t K = tasks_.size();
   const std::size_t G = groups_.size();
 
@@ -438,7 +517,7 @@ SelectionModel::SelectionModel(const wl::Workload& w,
       // Tiny cost discourages staging files nobody uses.
       x_vars_[g * C_ + i] =
           model_.add_binary(opts_.transfer_epsilon * groups_[g].bytes /
-                            cluster_.remote_bw());
+                            topo_.min_remote_bw());
       integer_vars_.push_back(x_vars_[g * C_ + i]);
     }
 
@@ -474,7 +553,8 @@ SelectionModel::SelectionModel(const wl::Workload& w,
         row.push_back({var_X(g, i), groups_[g].bytes});
     }
     if (row.empty()) continue;
-    model_.add_row(lp::Sense::kLe, cluster_.node_disk_capacity(i) - consumed,
+    model_.add_row(lp::Sense::kLe,
+                   topo_.config().node_disk_capacity(i) - consumed,
                    std::move(row));
   }
 
@@ -492,8 +572,8 @@ SelectionModel::SelectionModel(const wl::Workload& w,
     for (std::size_t i = 0; i < C_; ++i) {
       std::vector<lp::RowEntry> row;
       for (std::size_t k = 0; k < K; ++k) {
-        const double comp = model_comp(w_, cluster_, tasks_[k]);
         for (std::size_t ii = 0; ii < C_; ++ii) {
+          const double comp = model_comp(w_, topo_, tasks_[k], ii);
           double coef = -(1.0 + opts_.balance_thresh) * comp;
           if (ii == i) coef += static_cast<double>(C_) * comp;
           row.push_back({var_T(k, ii), coef});
@@ -537,12 +617,12 @@ std::vector<double> SelectionModel::greedy_incumbent() const {
       double extra = 0.0;
       for (std::size_t g : task_groups[k])
         if (!staged[g][i]) extra += groups_[g].bytes;
-      if (disk[i] + extra > cluster_.node_disk_capacity(i)) continue;
+      if (disk[i] + extra > topo_.config().node_disk_capacity(i)) continue;
       if (best == C_ || load[i] < load[best]) best = i;
     }
     if (best == C_) continue;  // does not fit anywhere; leave unselected
     x[var_T(k, best)] = 1.0;
-    load[best] += model_comp(w_, cluster_, tasks_[k]);
+    load[best] += model_comp(w_, topo_, tasks_[k], best);
     for (std::size_t g : task_groups[k])
       if (!staged[g][best]) {
         staged[g][best] = 1;

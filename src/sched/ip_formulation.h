@@ -21,9 +21,9 @@
 
 #include "ip/branch_and_bound.h"
 #include "lp/model.h"
-#include "sim/cluster.h"
 #include "sim/plan.h"
 #include "sim/state.h"
+#include "sim/topology.h"
 #include "workload/types.h"
 
 namespace bsio::sched {
@@ -60,8 +60,7 @@ std::vector<FileGroup> coalesce_files(const wl::Workload& w,
 class AllocationModel {
  public:
   AllocationModel(const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-                  std::vector<FileGroup> groups,
-                  const sim::ClusterConfig& cluster,
+                  std::vector<FileGroup> groups, const sim::Topology& topo,
                   const IpFormulationOptions& opts);
 
   const lp::Model& model() const { return model_; }
@@ -91,7 +90,7 @@ class AllocationModel {
   const wl::Workload& w_;
   std::vector<wl::TaskId> tasks_;
   std::vector<FileGroup> groups_;
-  sim::ClusterConfig cluster_;
+  sim::Topology topo_;
   IpFormulationOptions opts_;
 
   std::size_t C_ = 0;  // compute nodes
@@ -109,8 +108,7 @@ class AllocationModel {
 class SelectionModel {
  public:
   SelectionModel(const wl::Workload& w, const std::vector<wl::TaskId>& tasks,
-                 std::vector<FileGroup> groups,
-                 const sim::ClusterConfig& cluster,
+                 std::vector<FileGroup> groups, const sim::Topology& topo,
                  const IpFormulationOptions& opts);
 
   const lp::Model& model() const { return model_; }
@@ -131,7 +129,7 @@ class SelectionModel {
   const wl::Workload& w_;
   std::vector<wl::TaskId> tasks_;
   std::vector<FileGroup> groups_;
-  sim::ClusterConfig cluster_;
+  sim::Topology topo_;
   IpFormulationOptions opts_;
 
   std::size_t C_ = 0;

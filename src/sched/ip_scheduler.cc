@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "util/check.h"
 #include "util/logging.h"
@@ -55,10 +56,11 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
   // the survivors and the resulting plan is remapped back to real node ids.
   // With every node alive the compact cluster IS the real cluster and the
   // remap is the identity.
-  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  const std::vector<wl::NodeId>& nodes = ctx.alive_nodes();
   BSIO_CHECK_MSG(!nodes.empty(), "IP: no compute node is alive");
   const bool degraded = nodes.size() < ctx.cluster.num_compute_nodes;
   sim::ClusterConfig cluster = ctx.cluster;
+  std::optional<sim::Topology> compact_topo;
   if (degraded) {
     cluster.num_compute_nodes = nodes.size();
     if (!ctx.cluster.disk_capacity_per_node.empty()) {
@@ -67,7 +69,21 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
         cluster.disk_capacity_per_node.push_back(
             ctx.cluster.node_disk_capacity(n));
     }
+    // Per-compute-node heterogeneity vectors shrink with the cluster.
+    auto compact_vec = [&](auto& vec) {
+      if (vec.empty()) return;
+      auto full = vec;
+      vec.clear();
+      for (wl::NodeId n : nodes) vec.push_back(full[n]);
+    };
+    compact_vec(cluster.compute_nic_bw);
+    compact_vec(cluster.compute_speed);
+    compact_vec(cluster.compute_rack);
+    compact_topo.emplace(cluster);
   }
+  // The cost model the MIPs price against: the engine's own topology, or a
+  // compacted copy of it when nodes have crashed.
+  const sim::Topology& topo = degraded ? *compact_topo : ctx.topology;
   // FileGroup::present_on carries real node ids (crashed nodes lost their
   // caches, so only survivors appear); translate them to compact ids.
   auto compact_groups = [&](std::vector<FileGroup> groups) {
@@ -106,7 +122,7 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
     SelectionModel sel(
         w, capped,
         compact_groups(coalesce_files(w, capped, ctx.engine.state())),
-        cluster, options_.formulation);
+        topo, options_.formulation);
     ip::MipSolver solver(sel.model(), sel.integer_vars());
     auto seed = sel.greedy_incumbent();
     if (!seed.empty()) solver.set_incumbent(seed);
@@ -143,12 +159,12 @@ sim::SubBatchPlan IpScheduler::plan_sub_batch(
   AllocationModel alloc(
       w, sub_batch,
       compact_groups(coalesce_files(w, sub_batch, ctx.engine.state())),
-      cluster, options_.formulation);
+      topo, options_.formulation);
   ip::MipSolver solver(alloc.model(), alloc.integer_vars());
 
   // Warm start from the BiPartition level-2 mapping (star staging).
   std::vector<wl::NodeId> warm =
-      bipartition_map_tasks(w, sub_batch, cluster, options_.warm_start);
+      bipartition_map_tasks(w, sub_batch, topo, options_.warm_start);
   std::vector<double> incumbent = alloc.incumbent_from_mapping(warm);
   const bool seeded = solver.set_incumbent(incumbent);
   if (!seeded) {

@@ -14,9 +14,10 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
   const wl::Workload& w = ctx.batch;
   const sim::ClusterConfig& c = ctx.cluster;
-  ps_.reset(w, c, ctx.engine.state());
+  const sim::Topology& topo = ctx.topology;
+  ps_.reset(w, topo, ctx.engine.state());
   PlannerState& ps = ps_;
-  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  const std::vector<wl::NodeId>& nodes = ctx.alive_nodes();
   BSIO_CHECK_MSG(!nodes.empty(), "JobDataPresent: no compute node is alive");
 
   sim::SubBatchPlan plan;
@@ -70,7 +71,7 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
   ThreadPool::global().parallel_for_each(pending.size(), [&](std::size_t i) {
     double best = std::numeric_limits<double>::infinity();
     for (wl::NodeId n : nodes)
-      best = std::min(best, estimate_completion_time(w, c, ps, pending[i], n));
+      best = std::min(best, estimate_completion_time(w, topo, ps, pending[i], n));
     ect[i] = best;
   });
   std::vector<std::pair<double, wl::TaskId>> queue;
@@ -101,8 +102,8 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
       for (wl::NodeId n : nodes)
         if (ps.node_ready[n] < ps.node_ready[node]) node = n;
     }
-    CompletionEstimate est = estimate_completion(w, c, ps, task, node);
-    apply_assignment(w, c, ps, task, node, est);
+    CompletionEstimate est = estimate_completion(w, topo, ps, task, node);
+    apply_assignment(w, topo, ps, task, node, est);
     plan.tasks.push_back(task);
     plan.assignment[task] = node;
   }

@@ -42,7 +42,7 @@ std::pair<wl::NodeId, double> fold_best_node(
 
 // Lazy-heap MinMin for large batches.
 sim::SubBatchPlan plan_lazy(const wl::Workload& w,
-                            const sim::ClusterConfig& c, PlannerState& ps,
+                            const sim::Topology& topo, PlannerState& ps,
                             const std::vector<wl::TaskId>& pending,
                             const std::vector<wl::NodeId>& nodes) {
   ThreadPool& pool = ThreadPool::global();
@@ -59,7 +59,7 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w,
   std::vector<double> ct(pending.size() * N);
   pool.parallel_for_each(pending.size(), [&](std::size_t i) {
     for (std::size_t j = 0; j < N; ++j)
-      ct[i * N + j] = estimate_completion_time(w, c, ps, pending[i], nodes[j]);
+      ct[i * N + j] = estimate_completion_time(w, topo, ps, pending[i], nodes[j]);
   });
   std::priority_queue<Entry> heap;
   for (std::size_t i = 0; i < pending.size(); ++i)
@@ -72,15 +72,15 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w,
     heap.pop();
     if (done[e.task]) continue;
     pool.parallel_for_each(N, [&](std::size_t j) {
-      row[j] = estimate_completion_time(w, c, ps, e.task, nodes[j]);
+      row[j] = estimate_completion_time(w, topo, ps, e.task, nodes[j]);
     });
     auto [node, best_ct] = fold_best_node(ps, nodes, row.data());
     if (!heap.empty() && best_ct > heap.top().ct + 1e-9 * (1.0 + best_ct)) {
       heap.push({best_ct, e.task});  // stale; retry later
       continue;
     }
-    CompletionEstimate est = estimate_completion(w, c, ps, e.task, node);
-    apply_assignment(w, c, ps, e.task, node, est);
+    CompletionEstimate est = estimate_completion(w, topo, ps, e.task, node);
+    apply_assignment(w, topo, ps, e.task, node, est);
     plan.tasks.push_back(e.task);
     plan.assignment[e.task] = node;
     done[e.task] = true;
@@ -93,13 +93,13 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w,
 sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
     const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
   const wl::Workload& w = ctx.batch;
-  const sim::ClusterConfig& c = ctx.cluster;
-  ps_.reset(w, c, ctx.engine.state());
-  const std::vector<wl::NodeId> nodes = ctx.alive_nodes();
+  const sim::Topology& topo = ctx.topology;
+  ps_.reset(w, topo, ctx.engine.state());
+  const std::vector<wl::NodeId>& nodes = ctx.alive_nodes();
   BSIO_CHECK_MSG(!nodes.empty(), "MinMin: no compute node is alive");
 
   if (pending.size() > exact_threshold_)
-    return plan_lazy(w, c, ps_, pending, nodes);
+    return plan_lazy(w, topo, ps_, pending, nodes);
 
   ThreadPool& pool = ThreadPool::global();
   sim::SubBatchPlan plan;
@@ -135,7 +135,7 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
     pool.parallel_for_each(A, [&](std::size_t a) {
       for (std::size_t j = 0; j < N; ++j)
         ct[a * N + j] =
-            estimate_completion_time(w, c, ps_, pending[alive[a]], nodes[j]);
+            estimate_completion_time(w, topo, ps_, pending[alive[a]], nodes[j]);
     });
 
     // Sequential fold in the historical (task, node) order.
@@ -161,8 +161,8 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
 
     const wl::TaskId task = pending[alive[best_a]];
     CompletionEstimate best_est =
-        estimate_completion(w, c, ps_, task, best_node);
-    apply_assignment(w, c, ps_, task, best_node, best_est);
+        estimate_completion(w, topo, ps_, task, best_node);
+    apply_assignment(w, topo, ps_, task, best_node, best_est);
     plan.tasks.push_back(task);
     plan.assignment[task] = best_node;
 

@@ -23,17 +23,33 @@ struct SchedulerContext {
   // Read-only view of the engine: cache contents, pending request counts,
   // node liveness.
   const sim::ExecutionEngine& engine;
+  // The transfer-cost model every planner prices against — the engine's own
+  // topology, so plans and simulation share one bandwidth arithmetic.
+  const sim::Topology& topology;
+
+  SchedulerContext(const wl::Workload& w, const sim::ClusterConfig& c,
+                   const sim::ExecutionEngine& e)
+      : batch(w), cluster(c), engine(e), topology(e.topology()) {
+    refresh_alive();
+  }
 
   // Compute nodes still alive (fault injection can fail-stop nodes between
   // sub-batches). Schedulers must place work on alive nodes only.
   bool node_alive(wl::NodeId n) const { return engine.node_alive(n); }
-  std::vector<wl::NodeId> alive_nodes() const {
-    std::vector<wl::NodeId> out;
-    out.reserve(cluster.num_compute_nodes);
+
+  // Cached alive list: the driver refreshes it once per planning round
+  // (liveness only changes between rounds), so every scheduler sweep reads
+  // one const view instead of rebuilding a vector per call.
+  const std::vector<wl::NodeId>& alive_nodes() const { return alive_; }
+  void refresh_alive() {
+    alive_.clear();
+    alive_.reserve(cluster.num_compute_nodes);
     for (wl::NodeId n = 0; n < cluster.num_compute_nodes; ++n)
-      if (engine.node_alive(n)) out.push_back(n);
-    return out;
+      if (engine.node_alive(n)) alive_.push_back(n);
   }
+
+ private:
+  std::vector<wl::NodeId> alive_;
 };
 
 class Scheduler {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -45,6 +46,28 @@ struct ClusterConfig {
   double compute_net_bw = 800.0 * kMB;
   // Local disk read bandwidth on a compute node, bytes/s.
   double local_disk_bw = 100.0 * kMB;
+
+  // --- Heterogeneity overrides (empty = homogeneous; the defaults). ---
+  // All are consumed exclusively through sim::Topology; nothing else in the
+  // tree prices a transfer from these fields directly.
+
+  // Per-storage-node disk bandwidth, bytes/s (size num_storage_nodes);
+  // empty = every storage node reads at storage_disk_bw.
+  std::vector<double> storage_disk_bw_per_node;
+  // Per-compute-node NIC bandwidth cap, bytes/s (size num_compute_nodes);
+  // caps every transfer touching the node — staging in, replicating in or
+  // out. Empty = NICs never bottleneck (the homogeneous model).
+  std::vector<double> compute_nic_bw;
+  // Per-compute-node CPU speed factor dividing task compute seconds
+  // (1.0 = baseline, 2.0 = twice as fast); empty = all nodes at 1.0.
+  std::vector<double> compute_speed;
+  // Two-level link model: rack id of each compute node (size
+  // num_compute_nodes) plus the uplink bandwidth of each rack, bytes/s
+  // (size = 1 + max rack id). Remote stages serialize through the
+  // destination's rack uplink; cross-rack replications through both racks'
+  // uplinks. Both vectors empty = flat single-switch network.
+  std::vector<std::uint32_t> compute_rack;
+  std::vector<double> rack_uplink_bw;
   // Disk cache capacity per compute node, bytes (kUnlimited = no limit).
   double disk_capacity = kUnlimited;
   // Optional per-node override (size num_compute_nodes); empty = uniform
@@ -64,15 +87,18 @@ struct ClusterConfig {
   // is a remote transfer (the paper's "No Replication" baseline, Fig 5a).
   bool allow_replication = true;
 
-  // Effective point-to-point bandwidth of a remote transfer.
-  double remote_bw() const {
-    double bw = storage_disk_bw < storage_net_bw ? storage_disk_bw
-                                                 : storage_net_bw;
-    if (shared_uplink_bw > 0.0 && shared_uplink_bw < bw) bw = shared_uplink_bw;
-    return bw;
+  // Disk bandwidth of storage node s.
+  double storage_node_disk_bw(std::size_t s) const {
+    return storage_disk_bw_per_node.empty() ? storage_disk_bw
+                                            : storage_disk_bw_per_node[s];
   }
-  // Effective bandwidth of a compute-to-compute replication.
-  double replica_bw() const { return compute_net_bw; }
+  // True when no heterogeneity override is set (all per-node vectors
+  // empty): the classic uniform paper model.
+  bool homogeneous() const {
+    return storage_disk_bw_per_node.empty() && compute_nic_bw.empty() &&
+           compute_speed.empty() && compute_rack.empty() &&
+           rack_uplink_bw.empty();
+  }
 
   // Recoverable validation of user-supplied configuration (node counts,
   // bandwidths, per-node capacity arity). Callers that cannot proceed on a
@@ -89,5 +115,24 @@ ClusterConfig xio_cluster(std::size_t compute_nodes = 4,
 // disks behind a shared 100 Mbps Ethernet uplink).
 ClusterConfig osumed_cluster(std::size_t compute_nodes = 4,
                              std::size_t storage_nodes = 4);
+
+// XIO with generation drift: half the storage pool on older 100 MB/s
+// disks, compute nodes split across two procurement waves (1.0x vs 1.6x
+// CPUs, 200 vs 800 MB/s NICs).
+ClusterConfig xio_mixed_cluster(std::size_t compute_nodes = 4,
+                                std::size_t storage_nodes = 4);
+
+// A two-rack XIO-class cluster: nodes split round-robin across racks whose
+// uplinks are 4x thinner than the core, so cross-rack traffic contends.
+ClusterConfig racked_cluster(std::size_t compute_nodes = 8,
+                             std::size_t storage_nodes = 4,
+                             std::size_t racks = 2);
+
+// Deterministically skews `base` for heterogeneity sweeps: node bandwidths
+// (storage disks + compute NICs) and CPU speeds spread multiplicatively in
+// [1/(1+skew), 1+skew], pattern fixed by `seed`. skew = 0 returns `base`
+// unchanged (bit-identical homogeneous plans).
+ClusterConfig make_skewed_cluster(const ClusterConfig& base, double skew,
+                                  std::uint64_t seed = 1);
 
 }  // namespace bsio::sim

@@ -41,11 +41,16 @@ ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
                                  const wl::Workload& workload,
                                  EngineOptions options)
     : cluster_(cluster),
+      topo_([&] {
+        if (const Status v = cluster.validate(); !v.ok())
+          BSIO_CHECK_MSG(false, v.error().message.c_str());
+        return Topology(cluster);
+      }()),
       workload_(workload),
       options_(options),
       storage_tl_(cluster.num_storage_nodes),
       compute_tl_(cluster.num_compute_nodes),
-      has_uplink_(cluster.shared_uplink_bw > 0.0),
+      link_tl_(topo_.num_links()),
       state_([&] {
         std::vector<double> caps(cluster.num_compute_nodes);
         for (std::size_t i = 0; i < caps.size(); ++i)
@@ -58,8 +63,6 @@ ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
       faults_(options.faults, cluster.num_compute_nodes,
               cluster.num_storage_nodes),
       alive_(cluster.num_compute_nodes, 1) {
-  if (const Status v = cluster.validate(); !v.ok())
-    BSIO_CHECK_MSG(false, v.error().message.c_str());
   if (const Status v = options.faults.validate(cluster); !v.ok())
     BSIO_CHECK_MSG(false, v.error().message.c_str());
   for (const auto& f : workload.files())
@@ -86,10 +89,12 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
     c.src = workload_.file(file).home_storage_node;
     BSIO_CHECK_MSG(c.src < cluster_.num_storage_nodes,
                    "file home storage node out of range for this cluster");
-    c.duration = size / cluster_.remote_bw();
-    std::vector<const Timeline*> tls{&storage_tl_[c.src],
-                                     has_uplink_ ? &uplink_tl_ : nullptr,
-                                     &compute_tl_[dst]};
+    c.path = topo_.remote_path(c.src, dst);
+    c.duration = size / c.path.bandwidth;
+    std::vector<const Timeline*> tls{&storage_tl_[c.src]};
+    for (std::uint32_t l = 0; l < c.path.num_links; ++l)
+      tls.push_back(&link_tl_[c.path.links[l]]);
+    tls.push_back(&compute_tl_[dst]);
     c.start = earliest_common_free(tls, after, c.duration);
     return c;
   };
@@ -98,9 +103,13 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
     TransferChoice c;
     c.remote = false;
     c.src = j;
-    c.duration = size / cluster_.replica_bw();
+    c.path = topo_.replica_path(j, dst);
+    c.duration = size / c.path.bandwidth;
     const double avail = state_.available_at(j, file);
-    std::vector<const Timeline*> tls{&compute_tl_[j], &compute_tl_[dst]};
+    std::vector<const Timeline*> tls{&compute_tl_[j]};
+    for (std::uint32_t l = 0; l < c.path.num_links; ++l)
+      tls.push_back(&link_tl_[c.path.links[l]]);
+    tls.push_back(&compute_tl_[dst]);
     c.start = earliest_common_free(tls, std::max(after, avail), c.duration);
     return c;
   };
@@ -151,20 +160,26 @@ double ExecutionEngine::estimate_ect(wl::TaskId task, wl::NodeId node) const {
     // Horizon-based estimate: cheap, mutation-free, consistent across
     // candidates (used only for ranking).
     const wl::NodeId home = workload_.file(f).home_storage_node;
+    const TransferPath rp = topo_.remote_path(home, node);
     double src_ready = storage_tl_[home].horizon();
-    if (has_uplink_) src_ready = std::max(src_ready, uplink_tl_.horizon());
-    double best = std::max(cursor, src_ready) + size / cluster_.remote_bw();
+    for (std::uint32_t l = 0; l < rp.num_links; ++l)
+      src_ready = std::max(src_ready, link_tl_[rp.links[l]].horizon());
+    double best = std::max(cursor, src_ready) + size / rp.bandwidth;
     if (cluster_.allow_replication) {
       for (wl::NodeId j : state_.holders(f)) {
         if (j == node) continue;
+        const TransferPath pp = topo_.replica_path(j, node);
         double start = std::max({cursor, compute_tl_[j].horizon(),
                                  state_.available_at(j, f)});
-        best = std::min(best, start + size / cluster_.replica_bw());
+        for (std::uint32_t l = 0; l < pp.num_links; ++l)
+          start = std::max(start, link_tl_[pp.links[l]].horizon());
+        best = std::min(best, start + size / pp.bandwidth);
       }
     }
     cursor = best;
   }
-  return cursor + read_bytes / cluster_.local_disk_bw + info.compute_seconds;
+  return cursor + read_bytes / cluster_.local_disk_bw +
+         info.compute_seconds / topo_.cpu_speed(node);
 }
 
 void ExecutionEngine::evict_for(wl::NodeId node, double need,
@@ -192,12 +207,12 @@ ExecutionEngine::TransferChoice ExecutionEngine::commit_transfer(
   const std::uint64_t seq = transfer_seq_++;
   for (std::size_t attempt = 0;; ++attempt) {
     TransferChoice c = best_transfer(plan, file, dst, after);
-    if (c.remote) {
+    if (c.remote)
       storage_tl_[c.src].reserve(c.start, c.duration);
-      if (has_uplink_) uplink_tl_.reserve(c.start, c.duration);
-    } else {
+    else
       compute_tl_[c.src].reserve(c.start, c.duration);
-    }
+    for (std::uint32_t l = 0; l < c.path.num_links; ++l)
+      link_tl_[c.path.links[l]].reserve(c.start, c.duration);
     compute_tl_[dst].reserve(c.start, c.duration);
 
     if (!faults_.transfer_attempt_fails(seq, attempt)) {
@@ -286,7 +301,7 @@ bool ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
   // Local read + computation, serialized on the node after the last input
   // file arrives.
   const double exec_dur =
-      read_bytes / cluster_.local_disk_bw + info.compute_seconds;
+      topo_.exec_seconds(read_bytes, info.compute_seconds, node);
   const double start = compute_tl_[node].earliest_free(last_end, exec_dur);
   const double completion = start + exec_dur;
 

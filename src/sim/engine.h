@@ -2,7 +2,8 @@
 // runtime rules and reports the simulated batch execution time.
 //
 // Model summary (see DESIGN.md for the full argument):
-//  - every storage node port, the optional shared uplink, and every compute
+//  - every storage node port, every shared link (the optional global
+//    uplink and any rack uplinks, per sim/topology.h), and every compute
 //    node (its port and CPU are one serialized resource, Eq. 12) is a
 //    Timeline of reservations;
 //  - tasks assigned to a node run one at a time; the engine picks, per the
@@ -10,8 +11,8 @@
 //    estimating ECT cheaply for candidate ranking and committing the chosen
 //    task's file transfers exactly (greedy minimum-TCT-first, tentative
 //    Gantt reservations);
-//  - a transfer reserves both endpoint timelines (single-port model); a
-//    remote transfer additionally reserves the shared uplink if configured;
+//  - a transfer reserves both endpoint timelines (single-port model) plus
+//    every shared link on its resolved TransferPath;
 //  - destination-side reservations are append-only (at or after the node's
 //    horizon), which makes on-demand eviction temporally safe: every file
 //    resident on a node stopped being referenced before the node's horizon;
@@ -33,6 +34,7 @@
 #include "sim/plan.h"
 #include "sim/state.h"
 #include "sim/timeline.h"
+#include "sim/topology.h"
 #include "util/error.h"
 #include "workload/types.h"
 
@@ -119,6 +121,10 @@ class ExecutionEngine {
   const ClusterState& state() const { return state_; }
   ClusterState& state() { return state_; }
 
+  // The resolved transfer-cost model this engine simulates under. Planners
+  // price against the same topology (see SchedulerContext).
+  const Topology& topology() const { return topo_; }
+
   // Remaining request count for a file (popularity numerator, Eq. 22);
   // decremented as tasks execute.
   double pending_requests(wl::FileId f) const { return pending_requests_[f]; }
@@ -152,6 +158,7 @@ class ExecutionEngine {
     wl::NodeId src = wl::kInvalidNode;  // storage node or compute node
     double start = 0.0;
     double duration = 0.0;
+    TransferPath path;  // shared links the transfer reserves
     double completion() const { return start + duration; }
   };
 
@@ -189,13 +196,15 @@ class ExecutionEngine {
                  ExecutionStats& stats);
 
   ClusterConfig cluster_;  // by value: cheap, and callers may pass rvalues
+  Topology topo_;          // all transfer bandwidths resolve through this
   const wl::Workload& workload_;
   EngineOptions options_;
 
   std::vector<Timeline> storage_tl_;
   std::vector<Timeline> compute_tl_;
-  Timeline uplink_tl_;
-  bool has_uplink_ = false;
+  // One Timeline per shared link (Topology link ids: the global uplink,
+  // then the rack uplinks).
+  std::vector<Timeline> link_tl_;
 
   ClusterState state_;
   std::vector<double> pending_requests_;

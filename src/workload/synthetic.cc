@@ -12,6 +12,7 @@ Workload make_synthetic(const SyntheticConfig& cfg) {
   BSIO_CHECK(cfg.num_tasks > 0);
   BSIO_CHECK(cfg.files_per_task > 0);
   BSIO_CHECK(cfg.overlap >= 0.0 && cfg.overlap < 1.0);
+  BSIO_CHECK(cfg.compute_jitter >= 0.0 && cfg.compute_jitter < 1.0);
   Rng rng(cfg.seed);
 
   const std::size_t total_requests = cfg.num_tasks * cfg.files_per_task;
@@ -60,7 +61,11 @@ Workload make_synthetic(const SyntheticConfig& cfg) {
     std::sort(tasks[t].files.begin(), tasks[t].files.end());
     double bytes = 0.0;
     for (FileId f : tasks[t].files) bytes += files[f].size_bytes;
-    tasks[t].compute_seconds = bytes * cfg.compute_seconds_per_byte;
+    const double cj =
+        cfg.compute_jitter > 0.0
+            ? 1.0 + cfg.compute_jitter * (rng.uniform_double() * 2.0 - 1.0)
+            : 1.0;
+    tasks[t].compute_seconds = bytes * cfg.compute_seconds_per_byte * cj;
   }
 
   return Workload(std::move(tasks), std::move(files));

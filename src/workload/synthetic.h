@@ -21,6 +21,11 @@ struct SyntheticConfig {
   // Relative jitter applied to file sizes, in [0, 1). 0 = uniform sizes.
   double file_size_jitter = 0.0;
   double compute_seconds_per_byte = 0.001 / (1024.0 * 1024.0);  // 0.001 s/MB
+  // Relative jitter applied to each task's compute time, in [0, 1).
+  // 0 = compute strictly proportional to input bytes. Pairs with the
+  // cluster-side sim::make_skewed_cluster bandwidth/CPU skew to model
+  // heterogeneous demand on heterogeneous hardware.
+  double compute_jitter = 0.0;
   std::size_t num_storage_nodes = 4;
   // Hot-set skew: probability mass concentrated on a small hot subset of the
   // pool (0 = uniform). Models "hot spot" access patterns.

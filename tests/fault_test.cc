@@ -10,6 +10,7 @@
 
 #include "core/batch_scheduler.h"
 #include "sched/driver.h"
+#include "sched/job_data_present.h"
 #include "sched/minmin.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
@@ -389,6 +390,37 @@ TEST(FaultInjection, SchedulersAvoidDeadNodes) {
   for (wl::TaskId t = 0; t < w.num_tasks(); ++t) pending.push_back(t);
   auto plan = mm.plan_sub_batch(pending, ctx);
   for (const auto& [task, node] : plan.assignment) EXPECT_NE(node, 2u);
+}
+
+TEST(FaultInjection, LruEvictionSurvivesCrashes) {
+  // JobDataPresent pairs with LRU eviction; run it on a tight disk while a
+  // node crashes mid-batch. The crash drops the dead node's replicas, so
+  // the survivors must re-stage (and keep evicting) their way to a full
+  // drain — the counters have to show both effects.
+  const wl::Workload w = shared_workload(51);
+  sim::ClusterConfig c = fault_cluster(3, 2);
+  c.disk_capacity = 0.3 * w.unique_request_bytes();
+
+  sched::JobDataPresentScheduler jdp;
+  ASSERT_EQ(jdp.eviction_policy(), sim::EvictionPolicy::kLru);
+
+  const auto clean = sched::run_batch(jdp, w, c);
+  ASSERT_TRUE(clean.ok()) << clean.error;
+  EXPECT_EQ(clean.stats.tasks_executed, w.num_tasks());
+  EXPECT_GT(clean.stats.evictions, 0u);
+
+  sim::FaultConfig faults;
+  faults.compute_crashes = {{2, 0.3}};
+  sched::JobDataPresentScheduler jdp2;
+  const auto faulty = sched::run_batch(jdp2, w, c, faults);
+  ASSERT_TRUE(faulty.ok()) << faulty.error;
+  // Orphaned tasks are re-planned on the two survivors, which re-stage the
+  // inputs the dead node held; LRU keeps cycling the tight disks.
+  EXPECT_EQ(faulty.stats.tasks_executed, w.num_tasks());
+  EXPECT_GT(faulty.stats.evictions, 0u);
+  EXPECT_GE(faulty.stats.remote_transfers + faulty.stats.replications,
+            clean.stats.remote_transfers)
+      << "crash recovery cannot shrink total staging work";
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <tuple>
 
 #include "core/batch_scheduler.h"
+#include "sim/topology.h"
 #include "workload/image.h"
 #include "workload/stats.h"
 #include "workload/synthetic.h"
@@ -88,12 +89,13 @@ TEST_P(SchedulerSweep, PhysicalInvariantsHold) {
         << "makespan below the shared-uplink bound";
   }
   // Per-storage-port bound: every file leaves its home port at least once.
+  const sim::Topology topo(c);
   for (wl::NodeId s = 0; s < c.num_storage_nodes; ++s) {
     double bytes = 0.0;
     for (const auto& f : w.files())
       if (!w.tasks_of_file(f.id).empty() && f.home_storage_node == s)
         bytes += f.size_bytes;
-    EXPECT_GE(r.batch_time, bytes / c.remote_bw() - 1e-6)
+    EXPECT_GE(r.batch_time, bytes / topo.uniform_remote_bw() - 1e-6)
         << "makespan below storage port " << s << " bound";
   }
 

@@ -8,6 +8,7 @@
 #include "sched/ip_formulation.h"
 #include "sim/cluster.h"
 #include "sim/state.h"
+#include "sim/topology.h"
 #include "workload/types.h"
 
 namespace bsio::sched {
@@ -42,7 +43,8 @@ TEST(AllocationModel, MappingWithoutStagingIsInfeasible) {
   wl::Workload w = two_task_workload();
   sim::ClusterConfig c = two_node_cluster();
   sim::ClusterState st(2, sim::kUnlimited);
-  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st), c, {});
+  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st),
+                    sim::Topology(c), {});
 
   // A valid star point for map {0 -> node0, 1 -> node0}.
   auto x = m.incumbent_from_mapping({0, 0});
@@ -64,7 +66,8 @@ TEST(AllocationModel, OptimalSolutionStagesEveryNeededGroup) {
   wl::Workload w = two_task_workload();
   sim::ClusterConfig c = two_node_cluster();
   sim::ClusterState st(2, sim::kUnlimited);
-  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st), c, {});
+  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st),
+                    sim::Topology(c), {});
   ip::MipSolver solver(m.model(), m.integer_vars());
   auto r = solver.solve();
   ASSERT_EQ(r.status, ip::MipStatus::kOptimal);
@@ -86,7 +89,7 @@ TEST(AllocationModel, ExistingCopyRemovesTransferNeed) {
   st.add(0, 0, w.file_size(0), 0.0);  // file 0 already on node 0
 
   auto groups = coalesce_files(w, {0, 1}, st);
-  AllocationModel m(w, {0, 1}, groups, c, {});
+  AllocationModel m(w, {0, 1}, groups, sim::Topology(c), {});
   ip::MipSolver solver(m.model(), m.integer_vars());
   auto r = solver.solve();
   ASSERT_EQ(r.status, ip::MipStatus::kOptimal);
@@ -107,7 +110,8 @@ TEST(AllocationModel, ExistingCopyRemovesTransferNeed) {
   // With the existing copy, the optimum is strictly cheaper than the best
   // cold star mapping.
   sim::ClusterState cold(2, sim::kUnlimited);
-  AllocationModel m_cold(w, {0, 1}, coalesce_files(w, {0, 1}, cold), c, {});
+  AllocationModel m_cold(w, {0, 1}, coalesce_files(w, {0, 1}, cold),
+                         sim::Topology(c), {});
   ip::MipSolver cold_solver(m_cold.model(), m_cold.integer_vars());
   auto r_cold = cold_solver.solve();
   ASSERT_EQ(r_cold.status, ip::MipStatus::kOptimal);
@@ -120,7 +124,8 @@ TEST(AllocationModel, NoReplicationModelHasNoReplicaDirectives) {
   sim::ClusterConfig c = two_node_cluster();
   c.allow_replication = false;
   sim::ClusterState st(2, sim::kUnlimited);
-  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st), c, {});
+  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st),
+                    sim::Topology(c), {});
   ip::MipSolver solver(m.model(), m.integer_vars());
   auto r = solver.solve();
   ASSERT_EQ(r.status, ip::MipStatus::kOptimal);
@@ -136,7 +141,8 @@ TEST(AllocationModel, UplinkRowRaisesTheSurrogate) {
   sim::ClusterConfig c = two_node_cluster();
   c.shared_uplink_bw = 10.0 * sim::kMB;
   sim::ClusterState st(2, sim::kUnlimited);
-  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st), c, {});
+  AllocationModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st),
+                    sim::Topology(c), {});
   ip::MipSolver solver(m.model(), m.integer_vars());
   auto r = solver.solve();
   ASSERT_EQ(r.status, ip::MipStatus::kOptimal);
@@ -157,7 +163,8 @@ TEST(SelectionModel, BalanceRowsSkippedForTinyBatches) {
   sim::ClusterConfig c = two_node_cluster();
   c.disk_capacity = 100.0 * sim::kMB;
   sim::ClusterState st(2, c.disk_capacity);
-  SelectionModel m(w, {0}, coalesce_files(w, {0}, st), c, {});
+  SelectionModel m(w, {0}, coalesce_files(w, {0}, st), sim::Topology(c),
+                   {});
   ip::MipSolver solver(m.model(), m.integer_vars());
   auto r = solver.solve();
   ASSERT_EQ(r.status, ip::MipStatus::kOptimal);
@@ -169,7 +176,8 @@ TEST(SelectionModel, GreedyIncumbentFeasibleWhenEverythingFits) {
   sim::ClusterConfig c = two_node_cluster();
   c.disk_capacity = 1.0 * sim::kGB;
   sim::ClusterState st(2, c.disk_capacity);
-  SelectionModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st), c, {});
+  SelectionModel m(w, {0, 1}, coalesce_files(w, {0, 1}, st),
+                   sim::Topology(c), {});
   auto seed = m.greedy_incumbent();
   ASSERT_FALSE(seed.empty());
   EXPECT_TRUE(m.model().is_feasible(seed, 1e-6));

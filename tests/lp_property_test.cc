@@ -287,8 +287,9 @@ TEST(SparseVsDenseEdge, BoundChangeWarmRestartAgrees) {
   auto cold = dense.solve();
 
   ASSERT_EQ(warm.status, cold.status);
-  if (warm.status == SolveStatus::kOptimal)
+  if (warm.status == SolveStatus::kOptimal) {
     EXPECT_NEAR(warm.objective, cold.objective, 1e-6);
+  }
 }
 
 TEST(SparseVsDenseEdge, SolverStatsPopulated) {

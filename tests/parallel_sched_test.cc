@@ -20,6 +20,7 @@
 #include "sched/minmin.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
+#include "sim/topology.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "workload/synthetic.h"
@@ -118,7 +119,7 @@ TEST(PlannerState, PresenceIndexMatchesHolderLists) {
   const wl::Workload w = test_workload(40, 11);
   const sim::ClusterConfig c = test_cluster(5);
   sim::ExecutionEngine engine(c, w);
-  PlannerState ps(w, c, engine.state());
+  PlannerState ps(w, engine.topology(), engine.state());
 
   Rng rng(3);
   for (int i = 0; i < 200; ++i)
@@ -156,7 +157,7 @@ TEST(PlannerState, EpochResetReusesBuffersAcrossWorkloads) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
     const wl::Workload w = test_workload(20 + 5 * seed, seed);
     sim::ExecutionEngine engine(c, w);
-    ps.reset(w, c, engine.state());
+    ps.reset(w, engine.topology(), engine.state());
     // Fresh state: nothing planned on compute nodes beyond current holders
     // (empty engine cache => nothing at all).
     for (wl::FileId f = 0; f < w.num_files(); ++f) {
@@ -176,20 +177,21 @@ TEST(CostModel, ScratchedExecTimesMatchFresh) {
   const sim::ClusterConfig c = test_cluster();
   const auto tasks = all_tasks(w);
 
-  const auto fresh = probabilistic_exec_times(w, tasks, c);
+  const sim::Topology topo(c);
+  const auto fresh = probabilistic_exec_times(w, tasks, topo);
   ExecTimeScratch scratch;
   // Repeated calls through one scratch must all match (the scratch must be
   // left clean between calls).
   for (int i = 0; i < 3; ++i) {
-    const auto scratched = probabilistic_exec_times(w, tasks, c, &scratch);
+    const auto scratched = probabilistic_exec_times(w, tasks, topo, &scratch);
     ASSERT_EQ(scratched.size(), fresh.size());
     for (std::size_t j = 0; j < fresh.size(); ++j)
       EXPECT_EQ(scratched[j], fresh[j]) << j;
   }
   // And a different sub-batch through the same scratch.
   std::vector<wl::TaskId> half(tasks.begin(), tasks.begin() + 15);
-  const auto a = probabilistic_exec_times(w, half, c);
-  const auto b = probabilistic_exec_times(w, half, c, &scratch);
+  const auto a = probabilistic_exec_times(w, half, topo);
+  const auto b = probabilistic_exec_times(w, half, topo, &scratch);
   EXPECT_EQ(a, b);
 }
 
@@ -197,17 +199,18 @@ TEST(CostModel, CompletionTimeMatchesFullEstimateBitwise) {
   const wl::Workload w = test_workload(25, 23);
   const sim::ClusterConfig c = test_cluster(4);
   sim::ExecutionEngine engine(c, w);
-  PlannerState ps(w, c, engine.state());
+  const sim::Topology& topo = engine.topology();
+  PlannerState ps(w, topo, engine.state());
 
   // Interleave applies and comparisons so replica holders accumulate.
   Rng rng(9);
   for (int step = 0; step < 50; ++step) {
     const auto task = static_cast<wl::TaskId>(rng.uniform(w.num_tasks()));
     const auto node = static_cast<wl::NodeId>(rng.uniform(c.num_compute_nodes));
-    const CompletionEstimate full = estimate_completion(w, c, ps, task, node);
-    const double fast = estimate_completion_time(w, c, ps, task, node);
+    const CompletionEstimate full = estimate_completion(w, topo, ps, task, node);
+    const double fast = estimate_completion_time(w, topo, ps, task, node);
     EXPECT_EQ(full.completion, fast) << "step " << step;
-    if (step % 5 == 0) apply_assignment(w, c, ps, task, node, full);
+    if (step % 5 == 0) apply_assignment(w, topo, ps, task, node, full);
   }
 }
 
@@ -220,7 +223,8 @@ sim::SubBatchPlan legacy_exact_minmin(const wl::Workload& w,
                                       const sim::ClusterConfig& c,
                                       const sim::ExecutionEngine& engine,
                                       const std::vector<wl::TaskId>& pending) {
-  PlannerState ps(w, c, engine.state());
+  const sim::Topology& topo = engine.topology();
+  PlannerState ps(w, topo, engine.state());
   std::vector<wl::NodeId> nodes;
   for (wl::NodeId n = 0; n < c.num_compute_nodes; ++n) nodes.push_back(n);
 
@@ -233,7 +237,7 @@ sim::SubBatchPlan legacy_exact_minmin(const wl::Workload& w,
     CompletionEstimate best_est;
     for (std::size_t i = 0; i < todo.size(); ++i) {
       for (wl::NodeId n : nodes) {
-        CompletionEstimate est = estimate_completion(w, c, ps, todo[i], n);
+        CompletionEstimate est = estimate_completion(w, topo, ps, todo[i], n);
         const bool first = std::isinf(best_ct);
         const double tol = first ? 0.0 : 1e-9 * (1.0 + best_ct);
         const bool better =
@@ -249,7 +253,7 @@ sim::SubBatchPlan legacy_exact_minmin(const wl::Workload& w,
       }
     }
     const wl::TaskId task = todo[best_i];
-    apply_assignment(w, c, ps, task, best_node, best_est);
+    apply_assignment(w, topo, ps, task, best_node, best_est);
     plan.tasks.push_back(task);
     plan.assignment[task] = best_node;
     todo.erase(todo.begin() + best_i);

@@ -11,6 +11,7 @@
 #include "sched/job_data_present.h"
 #include "sched/minmin.h"
 #include "sim/cluster.h"
+#include "sim/topology.h"
 #include "workload/stats.h"
 #include "workload/synthetic.h"
 
@@ -63,8 +64,9 @@ TEST(CostModel, ProbabilisticWeightsMatchEq25) {
   wl::Workload w(std::move(tasks), std::move(files));
   sim::ClusterConfig c = small_cluster(2);
 
-  auto exec = probabilistic_exec_times(w, {0, 1}, c);
-  const double bw_s = c.remote_bw(), bw_c = c.replica_bw();
+  sim::Topology topo(c);
+  auto exec = probabilistic_exec_times(w, {0, 1}, topo);
+  const double bw_s = topo.uniform_remote_bw(), bw_c = topo.uniform_replica_bw();
   const double slow = std::min(bw_s, bw_c);
   const double s_j = 2.0, T = 2.0, K = 2.0;
   const double p_fne = 1.0 / s_j, p_fe = (s_j / T) / K;
@@ -87,12 +89,13 @@ TEST(CostModel, EstimateCountsCacheAndSources) {
   wl::Workload w(std::move(tasks), std::move(files));
   sim::ClusterConfig c = small_cluster(2);
 
+  sim::Topology topo(c);
   sim::ClusterState st(2, sim::kUnlimited);
   st.add(0, 0, 50.0 * sim::kMB, 0.0);  // file 0 cached on node 0
-  PlannerState ps(w, c, st);
+  PlannerState ps(w, topo, st);
 
-  auto est0 = estimate_completion(w, c, ps, 0, 0);
-  auto est1 = estimate_completion(w, c, ps, 0, 1);
+  auto est0 = estimate_completion(w, topo, ps, 0, 0);
+  auto est1 = estimate_completion(w, topo, ps, 0, 1);
   EXPECT_EQ(est0.stages.size(), 1u);  // only file 1 missing on node 0
   EXPECT_EQ(est1.stages.size(), 2u);
   EXPECT_LT(est0.completion, est1.completion);
@@ -244,7 +247,8 @@ TEST(IpFormulation, IncumbentFromMappingIsFeasible) {
   sim::ClusterState st(3, sim::kUnlimited);
   std::vector<wl::TaskId> tasks;
   for (const auto& t : w.tasks()) tasks.push_back(t.id);
-  AllocationModel m(w, tasks, coalesce_files(w, tasks, st), c, {});
+  AllocationModel m(w, tasks, coalesce_files(w, tasks, st), sim::Topology(c),
+                    {});
   // Any mapping should give a model-feasible star-staging point.
   std::vector<wl::NodeId> map(tasks.size());
   for (std::size_t i = 0; i < map.size(); ++i)
@@ -272,7 +276,7 @@ TEST(IpFormulation, AllocationOptimumMatchesExhaustiveTinyCase) {
   sim::ClusterState st(2, sim::kUnlimited);
 
   std::vector<wl::TaskId> ids{0, 1, 2};
-  AllocationModel m(w, ids, coalesce_files(w, ids, st), c, {});
+  AllocationModel m(w, ids, coalesce_files(w, ids, st), sim::Topology(c), {});
   ip::MipSolver solver(m.model(), m.integer_vars());
   auto r = solver.solve();
   ASSERT_TRUE(r.status == ip::MipStatus::kOptimal);
@@ -312,7 +316,7 @@ TEST(IpFormulation, SelectionRespectsDiskAndMaximises) {
   std::vector<wl::TaskId> ids{0, 1, 2, 3};
   IpFormulationOptions fo;
   fo.balance_thresh = 1.0;
-  SelectionModel m(w, ids, coalesce_files(w, ids, st), c, fo);
+  SelectionModel m(w, ids, coalesce_files(w, ids, st), sim::Topology(c), fo);
   ip::MipSolver solver(m.model(), m.integer_vars());
   auto seed = m.greedy_incumbent();
   if (!seed.empty()) solver.set_incumbent(seed);
@@ -322,7 +326,7 @@ TEST(IpFormulation, SelectionRespectsDiskAndMaximises) {
 
   // Shrink disk to one file per node -> only 2 tasks fit.
   c.disk_capacity = 70.0 * sim::kMB;
-  SelectionModel m2(w, ids, coalesce_files(w, ids, st), c, fo);
+  SelectionModel m2(w, ids, coalesce_files(w, ids, st), sim::Topology(c), fo);
   ip::MipSolver solver2(m2.model(), m2.integer_vars());
   auto r2 = solver2.solve();
   ASSERT_TRUE(r2.status == ip::MipStatus::kOptimal);
@@ -339,8 +343,9 @@ TEST(IpFormulation, ExactAndAggregatedConstraintsAgreeOnOptimum) {
   IpFormulationOptions agg, exact;
   agg.aggregate_constraints = true;
   exact.aggregate_constraints = false;
-  AllocationModel ma(w, ids, coalesce_files(w, ids, st), c, agg);
-  AllocationModel me(w, ids, coalesce_files(w, ids, st), c, exact);
+  const sim::Topology topo(c);
+  AllocationModel ma(w, ids, coalesce_files(w, ids, st), topo, agg);
+  AllocationModel me(w, ids, coalesce_files(w, ids, st), topo, exact);
   ip::MipSolver sa(ma.model(), ma.integer_vars());
   ip::MipSolver se(me.model(), me.integer_vars());
   auto ra = sa.solve();
@@ -356,7 +361,7 @@ TEST(BiPartition, MappingCoversAllNodesAndBalances) {
   sim::ClusterConfig c = small_cluster(4);
   std::vector<wl::TaskId> ids;
   for (const auto& t : w.tasks()) ids.push_back(t.id);
-  auto map = bipartition_map_tasks(w, ids, c, {});
+  auto map = bipartition_map_tasks(w, ids, sim::Topology(c), {});
   ASSERT_EQ(map.size(), ids.size());
   std::set<wl::NodeId> used(map.begin(), map.end());
   EXPECT_EQ(used.size(), 4u);
@@ -397,6 +402,36 @@ TEST(Jdp, PrefetchesPopularFiles) {
   sim::SubBatchPlan plan = jdp.plan_sub_batch(pending, ctx);
   EXPECT_FALSE(plan.prefetches.empty());
   EXPECT_EQ(jdp.eviction_policy(), sim::EvictionPolicy::kLru);
+}
+
+TEST(Driver, RejectsTaskLargerThanSmallestDisk) {
+  // Up-front feasibility: one task's file set exceeds the smallest node's
+  // disk, so run_batch must fail with the typed Section 4.2 error before
+  // any engine work happens — not CHECK-abort in the eviction loop.
+  wl::Workload w = small_workload(6, /*overlap=*/0.0, /*seed=*/3);
+  sim::ClusterConfig c = small_cluster(2);
+  double biggest_task = 0.0;
+  for (const auto& t : w.tasks()) {
+    double bytes = 0.0;
+    for (wl::FileId f : t.files) bytes += w.file_size(f);
+    biggest_task = std::max(biggest_task, bytes);
+  }
+  c.disk_capacity = biggest_task;
+  c.disk_capacity_per_node = {biggest_task, 0.5 * biggest_task};
+
+  MinMinScheduler mm;
+  const BatchRunResult r = run_batch(mm, w, c);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("must fit on one node"), std::string::npos)
+      << r.error;
+  EXPECT_EQ(r.tasks_stranded, w.num_tasks());
+  EXPECT_EQ(r.stats.tasks_executed, 0u);
+
+  // Growing the small disk back above the threshold clears the error.
+  c.disk_capacity_per_node[1] = biggest_task;
+  MinMinScheduler mm2;
+  const BatchRunResult ok = run_batch(mm2, w, c);
+  EXPECT_TRUE(ok.ok()) << ok.error;
 }
 
 }  // namespace

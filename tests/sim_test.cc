@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/cluster.h"
+#include "sim/topology.h"
 #include "sim/engine.h"
 #include "sim/plan.h"
 #include "sim/state.h"
@@ -382,11 +383,12 @@ TEST(Engine, TimelinesNeverOverlap) {
 
 TEST(Cluster, Presets) {
   ClusterConfig xio = xio_cluster(4, 4);
-  EXPECT_DOUBLE_EQ(xio.remote_bw(), 210.0 * kMB);
+  EXPECT_DOUBLE_EQ(Topology(xio).uniform_remote_bw(), 210.0 * kMB);
   ClusterConfig osumed = osumed_cluster(8, 4);
-  EXPECT_DOUBLE_EQ(osumed.remote_bw(), 12.5 * kMB);
+  Topology osumed_topo(osumed);
+  EXPECT_DOUBLE_EQ(osumed_topo.uniform_remote_bw(), 12.5 * kMB);
   EXPECT_EQ(osumed.num_compute_nodes, 8u);
-  EXPECT_GT(osumed.replica_bw(), osumed.remote_bw());
+  EXPECT_GT(osumed_topo.uniform_replica_bw(), osumed_topo.uniform_remote_bw());
   EXPECT_TRUE(xio.validate().ok());
   EXPECT_TRUE(osumed.validate().ok());
 }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include <set>
 
 #include "workload/calibrate.h"
@@ -76,6 +78,24 @@ TEST(Synthetic, ComputeTimeTracksInputVolume) {
     EXPECT_NEAR(t.compute_seconds, bytes * cfg.compute_seconds_per_byte,
                 1e-9);
   }
+}
+
+TEST(Synthetic, ComputeJitterSpreadsAroundTheProportionalValue) {
+  SyntheticConfig cfg;
+  cfg.num_tasks = 50;
+  cfg.compute_jitter = 0.4;
+  cfg.seed = 7;
+  Workload w = make_synthetic(cfg);
+  bool any_off = false;
+  for (const auto& t : w.tasks()) {
+    double bytes = 0.0;
+    for (FileId f : t.files) bytes += w.file_size(f);
+    const double base = bytes * cfg.compute_seconds_per_byte;
+    EXPECT_GE(t.compute_seconds, base * (1.0 - cfg.compute_jitter) - 1e-12);
+    EXPECT_LE(t.compute_seconds, base * (1.0 + cfg.compute_jitter) + 1e-12);
+    if (std::abs(t.compute_seconds - base) > 1e-9 * base) any_off = true;
+  }
+  EXPECT_TRUE(any_off);  // the knob actually does something
 }
 
 TEST(Sat, StructureMatchesPaperSetup) {
