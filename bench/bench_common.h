@@ -1,8 +1,14 @@
-// Shared helpers for the figure-reproduction benches.
+// Shared helpers for the figure-reproduction benches: the common workload
+// builders, a single CLI flag parser, and a streaming JSON emitter — so
+// each bench main declares its knobs and rows instead of re-implementing
+// strcmp loops and fprintf comma bookkeeping.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
 #include "workload/image.h"
@@ -10,6 +16,138 @@
 #include "workload/stats.h"
 
 namespace bsio::bench {
+
+// Minimal argv scanner for the bench mains. Flags are queried, not
+// pre-registered: has("--smoke") consumes a bare flag, value/number
+// consume `--flag <operand>` pairs. After all queries, unknown() reports
+// anything left unconsumed so typos fail loudly instead of silently
+// running the default grid.
+class ParseArgs {
+ public:
+  ParseArgs(int argc, char** argv)
+      : argv_(argv + 1, argv + argc), used_(argv_.size(), false) {}
+
+  // True (and consumed) if the bare flag is present.
+  bool has(const char* name) {
+    for (std::size_t i = 0; i < argv_.size(); ++i)
+      if (!used_[i] && std::strcmp(argv_[i], name) == 0) {
+        used_[i] = true;
+        return true;
+      }
+    return false;
+  }
+
+  // `--flag <operand>`: the operand, or `def` when absent.
+  const char* value(const char* name, const char* def) {
+    for (std::size_t i = 0; i + 1 < argv_.size(); ++i)
+      if (!used_[i] && std::strcmp(argv_[i], name) == 0) {
+        used_[i] = used_[i + 1] = true;
+        return argv_[i + 1];
+      }
+    return def;
+  }
+
+  double number(const char* name, double def) {
+    const char* v = value(name, nullptr);
+    return v != nullptr ? std::atof(v) : def;
+  }
+
+  // Exits with a usage hint if any argument was never consumed. Call after
+  // the last query.
+  void reject_unknown(const char* usage) const {
+    for (std::size_t i = 0; i < argv_.size(); ++i)
+      if (!used_[i]) {
+        std::fprintf(stderr, "unknown argument '%s'\nusage: %s\n", argv_[i],
+                     usage);
+        std::exit(2);
+      }
+  }
+
+ private:
+  std::vector<char*> argv_;
+  std::vector<bool> used_;
+};
+
+// Streaming JSON emitter with automatic comma placement. Keys and string
+// values are emitted verbatim (the benches only write identifier-like
+// strings — no escaping). Nesting is tracked by a stack; mismatched
+// begin/end aborts via the C library (fclose on nullptr never happens —
+// open failure exits immediately with a message).
+class JsonWriter {
+ public:
+  explicit JsonWriter(const char* path) : f_(std::fopen(path, "w")) {
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      std::exit(1);
+    }
+  }
+  ~JsonWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object(const char* key = nullptr) { open('{', key); }
+  void end_object() { close('}'); }
+  void begin_array(const char* key = nullptr) { open('[', key); }
+  void end_array() { close(']'); }
+
+  void field(const char* key, const char* v) {
+    prefix(key);
+    std::fprintf(f_, "\"%s\"", v);
+  }
+  void field(const char* key, const std::string& v) { field(key, v.c_str()); }
+  void field(const char* key, bool v) {
+    prefix(key);
+    std::fprintf(f_, "%s", v ? "true" : "false");
+  }
+  void field(const char* key, double v, int precision = 6) {
+    prefix(key);
+    std::fprintf(f_, "%.*f", precision, v);
+  }
+  void field(const char* key, std::size_t v) {
+    prefix(key);
+    std::fprintf(f_, "%zu", v);
+  }
+  void field(const char* key, long v) {
+    prefix(key);
+    std::fprintf(f_, "%ld", v);
+  }
+  void field(const char* key, unsigned v) {
+    prefix(key);
+    std::fprintf(f_, "%u", v);
+  }
+
+ private:
+  // Comma-separates siblings, then writes the key (inside objects).
+  void prefix(const char* key) {
+    if (!first_.empty()) {
+      if (!first_.back()) std::fputs(",", f_);
+      first_.back() = false;
+      std::fputs("\n", f_);
+      for (std::size_t i = 0; i < first_.size(); ++i) std::fputs("  ", f_);
+    }
+    if (key != nullptr) std::fprintf(f_, "\"%s\": ", key);
+  }
+  void open(char bracket, const char* key) {
+    prefix(key);
+    std::fputc(bracket, f_);
+    first_.push_back(true);
+  }
+  void close(char bracket) {
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (!empty) {
+      std::fputs("\n", f_);
+      for (std::size_t i = 0; i < first_.size(); ++i) std::fputs("  ", f_);
+    }
+    std::fputc(bracket, f_);
+    if (first_.empty()) std::fputs("\n", f_);
+  }
+
+  std::FILE* f_;
+  std::vector<bool> first_;  // per open scope: no element emitted yet
+};
 
 inline void banner(const std::string& fig, const std::string& setup,
                    const std::string& expectation) {

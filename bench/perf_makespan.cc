@@ -19,13 +19,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "sched/bipartition.h"
 #include "sched/driver.h"
 #include "sched/ip_scheduler.h"
@@ -129,72 +128,64 @@ sim::ClusterConfig bench_cluster(std::size_t compute_nodes,
 void write_json(const char* path, const std::vector<Row>& rows,
                 const std::vector<HeteroRow>& hetero_rows,
                 std::size_t compute_nodes, bool smoke) {
-  std::FILE* f = std::fopen(path, "w");
-  if (!f) {
-    std::fprintf(stderr, "perf_makespan: cannot open %s for writing\n", path);
-    std::exit(1);
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"perf_makespan\",\n");
-  std::fprintf(f, "  \"config\": {\n");
-  std::fprintf(f, "    \"workload\": \"synthetic overlap=0.85 files_per_task=8 seed=7\",\n");
-  std::fprintf(f, "    \"compute_nodes\": %zu,\n", compute_nodes);
+  bench::JsonWriter j(path);
+  j.begin_object();
+  j.field("bench", "perf_makespan");
+  j.begin_object("config");
+  j.field("workload", "synthetic overlap=0.85 files_per_task=8 seed=7");
+  j.field("compute_nodes", compute_nodes);
   // Speedups are bounded by the host: a 1-core machine shows ~1x at every
   // thread count (plus dispatch overhead), while plans stay bit-identical.
-  std::fprintf(f, "    \"host_cpus\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(f, "    \"smoke\": %s\n", smoke ? "true" : "false");
-  std::fprintf(f, "  },\n");
-  std::fprintf(f, "  \"results\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(
-        f,
-        "    {\"scheduler\": \"%s\", \"tasks\": %zu, \"nodes\": %zu, "
-        "\"threads\": %zu, \"planning_seconds\": %.6f, "
-        "\"makespan_seconds\": %.6f, \"speedup_vs_1t\": %.3f, "
-        "\"bit_identical\": %s",
-        r.scheduler.c_str(), r.tasks, r.nodes, r.threads, r.planning_seconds,
-        r.makespan_seconds, r.speedup_vs_1t,
-        r.bit_identical ? "true" : "false");
-    if (r.scheduler == "IP")
-      std::fprintf(f,
-                   ", \"lp_factorizations\": %ld, \"lp_fill_nnz\": %ld, "
-                   "\"lp_pivots\": %ld, \"lp_bound_flips\": %ld, "
-                   "\"lp_degenerate_pivots\": %ld, \"mip_nodes\": %ld",
-                   r.lp_factorizations, r.lp_fill_nnz, r.lp_pivots,
-                   r.lp_bound_flips, r.lp_degenerate_pivots, r.mip_nodes);
-    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  j.field("host_cpus", std::thread::hardware_concurrency());
+  j.field("smoke", smoke);
+  j.end_object();
+  j.begin_array("results");
+  for (const Row& r : rows) {
+    j.begin_object();
+    j.field("scheduler", r.scheduler);
+    j.field("tasks", r.tasks);
+    j.field("nodes", r.nodes);
+    j.field("threads", r.threads);
+    j.field("planning_seconds", r.planning_seconds);
+    j.field("makespan_seconds", r.makespan_seconds);
+    j.field("speedup_vs_1t", r.speedup_vs_1t, 3);
+    j.field("bit_identical", r.bit_identical);
+    if (r.scheduler == "IP") {
+      j.field("lp_factorizations", r.lp_factorizations);
+      j.field("lp_fill_nnz", r.lp_fill_nnz);
+      j.field("lp_pivots", r.lp_pivots);
+      j.field("lp_bound_flips", r.lp_bound_flips);
+      j.field("lp_degenerate_pivots", r.lp_degenerate_pivots);
+      j.field("mip_nodes", r.mip_nodes);
+    }
+    j.end_object();
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"hetero_results\": [\n");
-  for (std::size_t i = 0; i < hetero_rows.size(); ++i) {
-    const HeteroRow& r = hetero_rows[i];
-    std::fprintf(f,
-                 "    {\"scheduler\": \"%s\", \"skew\": %.2f, "
-                 "\"tasks\": %zu, \"planning_seconds\": %.6f, "
-                 "\"makespan_seconds\": %.6f, \"vs_homogeneous\": %.4f}%s\n",
-                 r.scheduler.c_str(), r.skew, r.tasks, r.planning_seconds,
-                 r.makespan_seconds, r.vs_homogeneous,
-                 i + 1 < hetero_rows.size() ? "," : "");
+  j.end_array();
+  j.begin_array("hetero_results");
+  for (const HeteroRow& r : hetero_rows) {
+    j.begin_object();
+    j.field("scheduler", r.scheduler);
+    j.field("skew", r.skew, 2);
+    j.field("tasks", r.tasks);
+    j.field("planning_seconds", r.planning_seconds);
+    j.field("makespan_seconds", r.makespan_seconds);
+    j.field("vs_homogeneous", r.vs_homogeneous, 4);
+    j.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  j.end_array();
+  j.end_object();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  const char* out_path = "BENCH_sched.json";
-  double max_ip_seconds = 0.0;  // 0 = no ceiling
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
-      out_path = argv[++i];
-    else if (std::strcmp(argv[i], "--max-ip-seconds") == 0 && i + 1 < argc)
-      max_ip_seconds = std::atof(argv[++i]);
-  }
+  bench::ParseArgs args(argc, argv);
+  const bool smoke = args.has("--smoke");
+  const char* out_path = args.value("--out", "BENCH_sched.json");
+  const double max_ip_seconds =
+      args.number("--max-ip-seconds", 0.0);  // 0 = no ceiling
+  args.reject_unknown(
+      "perf_makespan [--smoke] [--out <path>] [--max-ip-seconds <s>]");
 
   const std::size_t compute_nodes = smoke ? 8 : 32;
   const std::size_t storage_nodes = 4;

@@ -1,0 +1,241 @@
+// Online-service throughput bench: the cross-batch cache-reuse study.
+//
+// A BatchArrivalProcess feeds Zipf-skewed batches over one shared file
+// catalogue into the ServiceLoop at a sweep of arrival rates; each of the
+// four paper schedulers serves the identical arrival sequence twice — warm
+// (the cache snapshot each batch leaves behind seeds the next batch's
+// engine) and cold (every engine starts empty) — so the emitted
+// BENCH_service.json rows carry a per-(scheduler, rate) ablation of
+// cross-batch reuse: mean/max response time, queue wait, cross-batch hit
+// bytes vs remote bytes, and the carried-snapshot footprint.
+//
+//   service_throughput [--smoke] [--out <path>]
+//
+// Exit is non-zero if the warm runs fail the reuse contract for MinMin or
+// BiPartition (zero cross-batch hit bytes, or mean response not strictly
+// below the cold run) — the CI smoke guards the subsystem's reason to
+// exist.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sched/bipartition.h"
+#include "sched/ip_scheduler.h"
+#include "sched/job_data_present.h"
+#include "sched/minmin.h"
+#include "service/arrival.h"
+#include "service/catalog.h"
+#include "service/service.h"
+#include "sim/cluster.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace bsio;
+
+struct SchedulerSpec {
+  std::string label;
+  std::unique_ptr<sched::Scheduler> (*make)();
+};
+
+std::unique_ptr<sched::Scheduler> make_minmin() {
+  return std::make_unique<sched::MinMinScheduler>();
+}
+std::unique_ptr<sched::Scheduler> make_jdp() {
+  return std::make_unique<sched::JobDataPresentScheduler>();
+}
+std::unique_ptr<sched::Scheduler> make_bipartition() {
+  return std::make_unique<sched::BiPartitionScheduler>();
+}
+std::unique_ptr<sched::Scheduler> make_ip() {
+  sched::IpSchedulerOptions o = sched::IpScheduler::default_options();
+  // The perf_makespan budget rationale applies: warm-started incumbents
+  // make long polish a no-op, so tight budgets keep the sweep affordable.
+  o.selection_mip.time_limit_seconds = 0.04;
+  o.allocation_mip.time_limit_seconds = 0.04;
+  o.selection_mip.stall_node_limit = 64;
+  o.allocation_mip.stall_node_limit = 64;
+  return std::make_unique<sched::IpScheduler>(o);
+}
+
+// Limited disks on a slow-storage cluster: re-staging is expensive and
+// carried copies fit, so cross-batch reuse has room to pay off.
+sim::ClusterConfig service_cluster(std::size_t compute_nodes) {
+  sim::ClusterConfig c;
+  c.num_compute_nodes = compute_nodes;
+  c.num_storage_nodes = 4;
+  c.storage_disk_bw = 50.0 * sim::kMB;
+  c.storage_net_bw = 500.0 * sim::kMB;
+  c.compute_net_bw = 400.0 * sim::kMB;
+  c.local_disk_bw = 200.0 * sim::kMB;
+  c.disk_capacity = 2.0 * sim::kGB;
+  return c;
+}
+
+struct ServiceRow {
+  std::string scheduler;
+  double rate = 0.0;
+  bool warm = false;
+  service::ServiceStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseArgs args(argc, argv);
+  const bool smoke = args.has("--smoke");
+  const char* out_path = args.value("--out", "BENCH_service.json");
+  args.reject_unknown("service_throughput [--smoke] [--out <path>]");
+
+  ThreadPool::set_global_threads(1);
+
+  const std::size_t compute_nodes = smoke ? 4 : 8;
+  const std::size_t num_batches = smoke ? 4 : 8;
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.02}
+            : std::vector<double>{0.005, 0.02, 0.08};
+
+  service::SharedCatalogConfig cat_cfg;
+  cat_cfg.num_files = smoke ? 128 : 256;
+  cat_cfg.num_storage_nodes = 4;
+  cat_cfg.seed = 11;
+  const std::vector<wl::FileInfo> catalog =
+      service::make_shared_catalog(cat_cfg);
+
+  service::ServiceBatchConfig batch_cfg;
+  batch_cfg.tasks_per_batch = smoke ? 16 : 32;
+  batch_cfg.files_per_task = 4;
+  batch_cfg.zipf_s = 1.2;  // hot files recur across batches
+
+  const sim::ClusterConfig cluster = service_cluster(compute_nodes);
+
+  const std::vector<SchedulerSpec> specs = {
+      {"MinMin", &make_minmin},
+      {"JobDataPresent", &make_jdp},
+      {"BiPartition", &make_bipartition},
+      {"IP", &make_ip},
+  };
+
+  std::printf("service_throughput: %zu compute nodes, %zu batches/run%s\n\n",
+              compute_nodes, num_batches, smoke ? " (smoke)" : "");
+  std::printf("%-16s %7s %5s %10s %10s %12s %12s\n", "scheduler", "rate",
+              "warm", "mean-resp", "max-resp", "xbatch [MB]", "remote [MB]");
+
+  std::vector<ServiceRow> rows;
+  bool acceptance_ok = true;
+  for (const auto& spec : specs) {
+    for (double rate : rates) {
+      service::ArrivalConfig arrival_cfg;
+      arrival_cfg.rate = rate;
+      arrival_cfg.num_batches = num_batches;
+      arrival_cfg.seed = 3;
+      service::BatchArrivalProcess arrivals(catalog, batch_cfg, arrival_cfg);
+
+      double warm_response = 0.0, cold_response = 0.0;
+      double warm_hits = 0.0;
+      for (bool warm : {false, true}) {
+        auto gen = arrivals.generate();
+        if (!gen.ok()) {
+          std::fprintf(stderr, "service_throughput: %s\n",
+                       gen.error().message.c_str());
+          return 1;
+        }
+        auto scheduler = spec.make();
+        service::ServiceOptions options;
+        options.warm_start = warm;
+        service::ServiceLoop loop(*scheduler, cluster, catalog.size(),
+                                  options);
+        auto run = loop.run(std::move(gen).value());
+        if (!run.ok()) {
+          std::fprintf(stderr, "service_throughput: %s %s run failed: %s\n",
+                       spec.label.c_str(), warm ? "warm" : "cold",
+                       run.error().message.c_str());
+          return 1;
+        }
+        const service::ServiceStats& s = run.value().stats;
+        (warm ? warm_response : cold_response) = s.mean_response_time;
+        if (warm) warm_hits = s.cross_batch_hit_bytes;
+        std::printf("%-16s %7.3f %5s %10.2f %10.2f %12.1f %12.1f\n",
+                    spec.label.c_str(), rate, warm ? "yes" : "no",
+                    s.mean_response_time, s.max_response_time,
+                    s.cross_batch_hit_bytes / sim::kMB,
+                    s.remote_bytes / sim::kMB);
+        std::fflush(stdout);
+        ServiceRow row;
+        row.scheduler = spec.label;
+        row.rate = rate;
+        row.warm = warm;
+        row.stats = s;
+        rows.push_back(std::move(row));
+      }
+
+      // The subsystem's acceptance contract, enforced for the schedulers
+      // whose planners exploit residency directly.
+      if (spec.label == "MinMin" || spec.label == "BiPartition") {
+        if (warm_hits <= 0.0) {
+          std::fprintf(stderr,
+                       "service_throughput: %s warm run at rate %.3f served "
+                       "no cross-batch bytes\n",
+                       spec.label.c_str(), rate);
+          acceptance_ok = false;
+        }
+        if (warm_response >= cold_response) {
+          std::fprintf(stderr,
+                       "service_throughput: %s warm mean response %.2f s is "
+                       "not below cold %.2f s at rate %.3f\n",
+                       spec.label.c_str(), warm_response, cold_response,
+                       rate);
+          acceptance_ok = false;
+        }
+      }
+    }
+  }
+
+  bench::JsonWriter j(out_path);
+  j.begin_object();
+  j.field("bench", "service_throughput");
+  j.begin_object("config");
+  j.field("compute_nodes", compute_nodes);
+  j.field("num_batches", num_batches);
+  j.field("catalog_files", catalog.size());
+  j.field("tasks_per_batch", batch_cfg.tasks_per_batch);
+  j.field("files_per_task", batch_cfg.files_per_task);
+  j.field("zipf_s", batch_cfg.zipf_s, 2);
+  j.field("smoke", smoke);
+  j.end_object();
+  j.begin_array("results");
+  for (const ServiceRow& r : rows) {
+    const service::ServiceStats& s = r.stats;
+    j.begin_object();
+    j.field("scheduler", r.scheduler);
+    j.field("arrival_rate", r.rate, 4);
+    j.field("warm", r.warm);
+    j.field("batches_served", s.batches_served);
+    j.field("rejected_batches", s.rejected_batches);
+    j.field("mean_queue_wait_seconds", s.mean_queue_wait);
+    j.field("mean_response_seconds", s.mean_response_time);
+    j.field("max_response_seconds", s.max_response_time);
+    j.field("total_planning_seconds", s.total_planning_seconds);
+    j.field("total_makespan_seconds", s.total_makespan);
+    j.field("completion_seconds", s.completion_time);
+    j.field("cross_batch_hit_bytes", s.cross_batch_hit_bytes, 0);
+    j.field("remote_bytes", s.remote_bytes, 0);
+    j.field("carried_bytes_final", s.carried_bytes_final, 0);
+    j.field("evicted_bytes", s.evicted_bytes, 0);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("\nwrote %s (%zu rows)\n", out_path, rows.size());
+
+  if (!acceptance_ok) {
+    std::fprintf(stderr,
+                 "service_throughput: warm-vs-cold ablation failed the "
+                 "cross-batch reuse contract\n");
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,13 @@
 // of threads may evaluate candidate (task, node) pairs against one shared
 // state concurrently. All mutation (apply_assignment, add_planned, reset)
 // must happen on a single thread between those read-only sweeps.
+//
+// Warm start (online service): no separate plumbing exists here on purpose.
+// PlannerState::reset seeds its replica holders from the engine's
+// ClusterState, so a batch whose engine was pre-seeded via
+// ExecutionEngine::seed_cache automatically prices carried-in copies as
+// local/replica reads — the estimates stay bit-identical to a run where the
+// same copies were staged by an earlier batch on the same engine.
 #pragma once
 
 #include <cstdint>

@@ -13,6 +13,14 @@ namespace bsio::sched {
 BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                          const sim::ClusterConfig& cluster,
                          const sim::FaultConfig& faults) {
+  BatchRunOptions options;
+  options.faults = faults;
+  return run_batch(scheduler, workload, cluster, options);
+}
+
+BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
+                         const sim::ClusterConfig& cluster,
+                         const BatchRunOptions& options) {
   BatchRunResult result;
   result.scheduler = scheduler.name();
   result.planning_threads = ThreadPool::global().num_threads();
@@ -22,7 +30,14 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
     result.tasks_stranded = workload.num_tasks();
     return result;
   }
-  if (const Status v = faults.validate(cluster); !v.ok()) {
+  if (const Status v = options.faults.validate(cluster); !v.ok()) {
+    result.error = v.error().message;
+    result.tasks_stranded = workload.num_tasks();
+    return result;
+  }
+  // Stats-reuse guard: a scheduler instance still loaded with a previous
+  // run's counters must be reset before serving another batch.
+  if (const Status v = scheduler.begin_batch(); !v.ok()) {
     result.error = v.error().message;
     result.tasks_stranded = workload.num_tasks();
     return result;
@@ -55,8 +70,15 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
 
   sim::ExecutionEngine engine(
       cluster, workload,
-      {scheduler.eviction_policy(), /*trace=*/false, faults});
-  SchedulerContext ctx{workload, cluster, engine};
+      {scheduler.eviction_policy(), /*trace=*/false, options.faults});
+  if (options.initial_cache != nullptr) {
+    if (const Status v = engine.seed_cache(*options.initial_cache); !v.ok()) {
+      result.error = v.error().message;
+      result.tasks_stranded = workload.num_tasks();
+      return result;
+    }
+  }
+  SchedulerContext ctx{workload, cluster, engine, options.initial_cache};
 
   std::vector<wl::TaskId> pending;
   pending.reserve(workload.num_tasks());
@@ -116,6 +138,8 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
 
   result.batch_time = engine.makespan();
   result.stats = engine.totals();
+  if (options.capture_final_cache)
+    result.final_cache = sim::InitialCacheState::capture(engine.state());
   // Fold in the scheduler's solver counters (non-zero for IP only).
   scheduler.add_solver_stats(result.stats);
   result.per_task_scheduling_ms =

@@ -20,6 +20,20 @@
 
 namespace bsio::sched {
 
+// Extended run controls. The plain faults-only overload below forwards
+// here; the online service (src/service) uses the full struct to carry
+// caches across batches.
+struct BatchRunOptions {
+  sim::FaultConfig faults;
+  // Warm start: cache contents present before the first sub-batch (seeded
+  // into the engine via ExecutionEngine::seed_cache). Null = cold run. The
+  // pointee must outlive the call.
+  const sim::InitialCacheState* initial_cache = nullptr;
+  // Capture the engine's final cache contents into
+  // BatchRunResult::final_cache — the snapshot the next batch warms from.
+  bool capture_final_cache = false;
+};
+
 struct BatchRunResult {
   std::string scheduler;
   double batch_time = 0.0;          // simulated makespan (what Figs 3-6a plot)
@@ -34,8 +48,16 @@ struct BatchRunResult {
   // executed every task.
   std::string error;
   std::size_t tasks_stranded = 0;  // pending tasks when the run gave up
+  // Final cache contents (only when BatchRunOptions::capture_final_cache
+  // was set): what the batch left on the compute disks, sorted by
+  // (node, file).
+  sim::InitialCacheState final_cache;
   bool ok() const { return error.empty(); }
 };
+
+BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
+                         const sim::ClusterConfig& cluster,
+                         const BatchRunOptions& options);
 
 BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                          const sim::ClusterConfig& cluster,

@@ -36,6 +36,22 @@ IpSchedulerOptions IpScheduler::default_options() {
 IpScheduler::IpScheduler(IpSchedulerOptions options)
     : options_(std::move(options)) {}
 
+Status IpScheduler::begin_batch() {
+  if (total_nodes_ != 0 || total_stats_.factorizations != 0 ||
+      total_stats_.pivots != 0 || total_stats_.bound_flips != 0)
+    return Err(
+        "IP scheduler carries solver stats from a previous batch run; call "
+        "reset_run_stats() between batches or this run's report would "
+        "aggregate both");
+  return OkStatus();
+}
+
+void IpScheduler::reset_run_stats() {
+  total_stats_ = lp::SolverStats{};
+  total_nodes_ = 0;
+  last_ = SolveInfo{};
+}
+
 void IpScheduler::add_solver_stats(sim::ExecutionStats& stats) const {
   stats.lp_factorizations += total_stats_.factorizations;
   if (total_stats_.factor_fill_nnz > stats.lp_factor_fill_nnz)

@@ -44,6 +44,15 @@ class IpScheduler : public Scheduler {
   static IpSchedulerOptions default_options();
 
   std::string name() const override { return "IP"; }
+
+  // Per-run stat lifecycle: the solver counters accumulate across every
+  // plan_sub_batch call of one batch run. Reusing the instance for another
+  // batch without reset_run_stats() would report both batches' kernel work
+  // as one — begin_batch() returns a typed error instead of letting that
+  // happen (the online service resets between batches).
+  Status begin_batch() override;
+  void reset_run_stats() override;
+
   sim::SubBatchPlan plan_sub_batch(const std::vector<wl::TaskId>& pending,
                                    const SchedulerContext& ctx) override;
 

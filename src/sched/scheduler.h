@@ -13,6 +13,8 @@
 #include "sim/cluster.h"
 #include "sim/engine.h"
 #include "sim/plan.h"
+#include "sim/state.h"
+#include "util/error.h"
 #include "workload/types.h"
 
 namespace bsio::sched {
@@ -26,10 +28,20 @@ struct SchedulerContext {
   // The transfer-cost model every planner prices against — the engine's own
   // topology, so plans and simulation share one bandwidth arithmetic.
   const sim::Topology& topology;
+  // Warm start (online service): the cache snapshot the engine was seeded
+  // with before this batch, or null for a cold run. The seeded copies are
+  // already visible through engine.state() — PlannerState picks them up as
+  // replica holders, the IP formulation's coalesce_files() fixes their
+  // initial-placement terms — so most planners need nothing extra; the
+  // pointer lets a planner distinguish carried-in files from copies it
+  // staged itself (BiPartition's level-1 feasibility credit).
+  const sim::InitialCacheState* initial_cache = nullptr;
 
   SchedulerContext(const wl::Workload& w, const sim::ClusterConfig& c,
-                   const sim::ExecutionEngine& e)
-      : batch(w), cluster(c), engine(e), topology(e.topology()) {
+                   const sim::ExecutionEngine& e,
+                   const sim::InitialCacheState* warm = nullptr)
+      : batch(w), cluster(c), engine(e), topology(e.topology()),
+        initial_cache(warm) {
     refresh_alive();
   }
 
@@ -57,6 +69,19 @@ class Scheduler {
   virtual ~Scheduler() = default;
 
   virtual std::string name() const = 0;
+
+  // Called by run_batch before the first planning round of a batch.
+  // Schedulers that accumulate per-run counters (the IP scheduler's solver
+  // stats) must refuse to start a second batch while the previous run's
+  // counters are still loaded: silently continuing would fold two batches'
+  // numbers into one report. Returns a typed error on such reuse; callers
+  // running many batches through one scheduler instance (the online
+  // service loop) call reset_run_stats() between batches.
+  virtual Status begin_batch() { return OkStatus(); }
+
+  // Clears every per-run accumulated counter so the instance can serve the
+  // next batch. A fresh scheduler needs no call.
+  virtual void reset_run_stats() {}
 
   // Plans the next sub-batch from `pending` (non-empty). The returned plan
   // must name a non-empty subset of `pending` with a complete assignment.

@@ -1,0 +1,60 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sim/state.h"
+#include "sim/topology.h"
+#include "util/check.h"
+
+namespace bsio::service {
+
+double estimate_batch_seconds(const wl::Workload& batch,
+                              const sim::ClusterConfig& cluster) {
+  const sim::Topology topo(cluster);
+  // Cold, empty caches: capacity is irrelevant to the MCT arithmetic.
+  const sim::ClusterState cold(cluster.num_compute_nodes, sim::kUnlimited);
+  sched::PlannerState ps(batch, topo, cold);
+  double total = 0.0;
+  for (const auto& t : batch.tasks()) {
+    double best = std::numeric_limits<double>::infinity();
+    for (wl::NodeId n = 0; n < cluster.num_compute_nodes; ++n)
+      best = std::min(best,
+                      sched::estimate_completion_time(batch, topo, ps, t.id, n));
+    total += best;
+  }
+  return total / static_cast<double>(cluster.num_compute_nodes);
+}
+
+AdmissionQueue::AdmissionQueue(const sim::ClusterConfig& cluster,
+                               AdmissionOptions options)
+    : cluster_(cluster), options_(options) {}
+
+Status AdmissionQueue::offer(BatchArrival arrival) {
+  if (options_.max_queue_depth > 0 &&
+      queue_.size() >= options_.max_queue_depth)
+    return Err("admission queue full (depth " +
+               std::to_string(options_.max_queue_depth) + "); batch " +
+               std::to_string(arrival.index) + " rejected");
+  QueuedBatch q;
+  q.estimated_seconds = estimate_batch_seconds(arrival.batch, cluster_);
+  q.arrival = std::move(arrival);
+  queue_.push_back(std::move(q));
+  return OkStatus();
+}
+
+QueuedBatch AdmissionQueue::pop() {
+  BSIO_CHECK_MSG(!queue_.empty(), "pop() on an empty admission queue");
+  auto it = queue_.begin();
+  if (options_.policy == AdmissionPolicy::kShortestBatchFirst) {
+    for (auto cand = queue_.begin(); cand != queue_.end(); ++cand)
+      if (cand->estimated_seconds < it->estimated_seconds) it = cand;
+    // Ties keep arrival order: strict < never moves off the earliest.
+  }
+  QueuedBatch q = std::move(*it);
+  queue_.erase(it);
+  return q;
+}
+
+}  // namespace bsio::service

@@ -1,0 +1,64 @@
+// Admission queue between the arrival process and the service loop.
+//
+// Arrived batches wait here until the (single) executor frees up. Two
+// dequeue disciplines: FIFO, and shortest-estimated-batch-first (SJF on the
+// planner-side completion estimate, a classic mean-response-time lever).
+// A bounded queue applies backpressure: offers beyond max_queue_depth are
+// rejected with a typed error and counted by the caller.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sched/cost_model.h"
+#include "service/arrival.h"
+#include "sim/cluster.h"
+#include "util/error.h"
+
+namespace bsio::service {
+
+enum class AdmissionPolicy {
+  kFifo,
+  kShortestBatchFirst,  // min estimate_batch_seconds, arrival order on ties
+};
+
+struct AdmissionOptions {
+  AdmissionPolicy policy = AdmissionPolicy::kFifo;
+  // Maximum batches waiting (0 = unbounded). Offers to a full queue fail.
+  std::size_t max_queue_depth = 0;
+};
+
+struct QueuedBatch {
+  BatchArrival arrival;
+  double estimated_seconds = 0.0;  // cold-cache planner estimate
+};
+
+// The planner-side estimate SJF orders by: sum over tasks of the best
+// cold-cache MCT over all compute nodes, divided by the node count — an
+// idealised perfectly-parallel lower bound. Cheap (one PlannerState, no
+// engine), deterministic, and monotone in batch size, which is all the
+// dequeue order needs.
+double estimate_batch_seconds(const wl::Workload& batch,
+                              const sim::ClusterConfig& cluster);
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(const sim::ClusterConfig& cluster, AdmissionOptions options);
+
+  // Enqueues an arrived batch; typed error when the bounded queue is full
+  // (the batch is dropped — the service counts the rejection).
+  Status offer(BatchArrival arrival);
+
+  // Dequeues per policy. Requires !empty().
+  QueuedBatch pop();
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  sim::ClusterConfig cluster_;
+  AdmissionOptions options_;
+  std::deque<QueuedBatch> queue_;
+};
+
+}  // namespace bsio::service

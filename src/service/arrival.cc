@@ -1,0 +1,95 @@
+#include "service/arrival.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace bsio::service {
+
+BatchArrivalProcess::BatchArrivalProcess(std::vector<wl::FileInfo> catalog,
+                                         ServiceBatchConfig batch_cfg,
+                                         ArrivalConfig cfg)
+    : catalog_(std::move(catalog)),
+      batch_cfg_(batch_cfg),
+      cfg_(std::move(cfg)) {}
+
+// (time, tasks_override) pairs; override 0 = use the configured batch size.
+Result<std::vector<std::pair<double, std::size_t>>>
+BatchArrivalProcess::arrival_times() const {
+  std::vector<std::pair<double, std::size_t>> times;
+  if (!cfg_.trace_path.empty()) {
+    std::ifstream in(cfg_.trace_path);
+    if (!in)
+      return Err("arrival trace unreadable: " + cfg_.trace_path);
+    std::string line;
+    std::size_t line_no = 0;
+    double prev = 0.0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::istringstream row(line);
+      double t;
+      if (!(row >> t))
+        return Err("arrival trace " + cfg_.trace_path + " line " +
+                   std::to_string(line_no) + ": expected a number");
+      if (t < prev)
+        return Err("arrival trace " + cfg_.trace_path + " line " +
+                   std::to_string(line_no) +
+                   ": arrival times must be non-decreasing");
+      std::size_t tasks = 0;
+      long n = 0;
+      if (row >> n) {
+        if (n <= 0)
+          return Err("arrival trace " + cfg_.trace_path + " line " +
+                     std::to_string(line_no) +
+                     ": batch size must be positive");
+        tasks = static_cast<std::size_t>(n);
+      }
+      times.emplace_back(t, tasks);
+      prev = t;
+    }
+    if (times.empty())
+      return Err("arrival trace " + cfg_.trace_path + " contains no arrivals");
+    return times;
+  }
+
+  if (!(cfg_.rate > 0.0))
+    return Err("Poisson arrival rate must be positive");
+  Rng rng(hash_mix(cfg_.seed ^ 0x6172726976616cULL));  // "arrival"
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg_.num_batches; ++i) {
+    // Exponential interarrival gap; 1 - u keeps the argument in (0, 1].
+    t += -std::log(1.0 - rng.uniform_double()) / cfg_.rate;
+    times.emplace_back(t, 0);
+  }
+  return times;
+}
+
+Result<std::vector<BatchArrival>> BatchArrivalProcess::generate() const {
+  auto times = arrival_times();
+  if (!times.ok()) return times.error();
+
+  std::vector<BatchArrival> arrivals;
+  arrivals.reserve(times.value().size());
+  for (std::size_t i = 0; i < times.value().size(); ++i) {
+    const auto& [t, tasks_override] = times.value()[i];
+    ServiceBatchConfig cfg = batch_cfg_;
+    if (tasks_override > 0) cfg.tasks_per_batch = tasks_override;
+    BatchArrival a;
+    a.time = t;
+    a.index = i;
+    // Content seed depends on (seed, index) only: swapping the arrival
+    // source (Poisson vs trace) changes WHEN batches arrive, never WHAT
+    // they contain.
+    a.batch = make_service_batch(catalog_, cfg, hash_mix(cfg_.seed ^ i));
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
+}  // namespace bsio::service

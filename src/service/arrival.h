@@ -1,0 +1,58 @@
+// Batch arrival process for the online service.
+//
+// Two deterministic sources feed the admission queue: a seeded Poisson
+// process (exponential interarrival gaps at a configured rate) and a trace
+// file of explicit arrival times. Both yield the same BatchArrival records,
+// each carrying a ready-built Workload over the service's shared catalogue,
+// so the service loop is agnostic of where batches come from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/catalog.h"
+#include "util/error.h"
+#include "workload/types.h"
+
+namespace bsio::service {
+
+struct ArrivalConfig {
+  // Mean batch arrival rate, batches per simulated second (Poisson mode).
+  double rate = 0.01;
+  std::size_t num_batches = 8;
+  std::uint64_t seed = 1;
+  // Non-empty: read arrivals from this trace instead of sampling. Each
+  // non-comment line is `<arrival_seconds> [num_tasks]`, times
+  // non-decreasing; '#' starts a comment. num_tasks (optional) overrides
+  // ServiceBatchConfig::tasks_per_batch for that batch.
+  std::string trace_path;
+};
+
+struct BatchArrival {
+  double time = 0.0;      // simulated arrival time, seconds
+  std::size_t index = 0;  // 0-based arrival order
+  wl::Workload batch;
+};
+
+class BatchArrivalProcess {
+ public:
+  BatchArrivalProcess(std::vector<wl::FileInfo> catalog,
+                      ServiceBatchConfig batch_cfg, ArrivalConfig cfg);
+
+  // The full arrival sequence, sorted by time. Deterministic in the seed;
+  // batch i's content depends only on (seed, i), not on the arrival times,
+  // so Poisson and trace runs over the same seed see the same batches.
+  // Errors are typed: unreadable or malformed trace files, non-monotone
+  // times, a non-positive rate.
+  Result<std::vector<BatchArrival>> generate() const;
+
+ private:
+  Result<std::vector<std::pair<double, std::size_t>>> arrival_times() const;
+
+  std::vector<wl::FileInfo> catalog_;
+  ServiceBatchConfig batch_cfg_;
+  ArrivalConfig cfg_;
+};
+
+}  // namespace bsio::service

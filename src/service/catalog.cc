@@ -1,0 +1,141 @@
+#include "service/catalog.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace bsio::service {
+
+std::vector<wl::FileInfo> make_shared_catalog(const SharedCatalogConfig& cfg) {
+  BSIO_CHECK(cfg.num_files > 0);
+  BSIO_CHECK(cfg.num_storage_nodes > 0);
+  BSIO_CHECK(cfg.mean_file_size_bytes > 0.0);
+  BSIO_CHECK(cfg.file_size_jitter >= 0.0 && cfg.file_size_jitter < 1.0);
+  Rng rng(cfg.seed);
+  std::vector<wl::FileInfo> catalog(cfg.num_files);
+  for (std::size_t i = 0; i < cfg.num_files; ++i) {
+    wl::FileInfo& f = catalog[i];
+    f.id = static_cast<wl::FileId>(i);
+    const double jitter =
+        cfg.file_size_jitter * (2.0 * rng.uniform_double() - 1.0);
+    f.size_bytes = cfg.mean_file_size_bytes * (1.0 + jitter);
+    f.home_storage_node = static_cast<wl::NodeId>(i % cfg.num_storage_nodes);
+  }
+  return catalog;
+}
+
+wl::Workload make_service_batch(const std::vector<wl::FileInfo>& catalog,
+                                const ServiceBatchConfig& cfg,
+                                std::uint64_t seed) {
+  BSIO_CHECK(!catalog.empty());
+  BSIO_CHECK(cfg.tasks_per_batch > 0);
+  BSIO_CHECK(cfg.files_per_task > 0 && cfg.files_per_task <= catalog.size());
+  Rng rng(seed);
+  std::vector<wl::TaskInfo> tasks(cfg.tasks_per_batch);
+  for (std::size_t t = 0; t < cfg.tasks_per_batch; ++t) {
+    wl::TaskInfo& task = tasks[t];
+    task.id = static_cast<wl::TaskId>(t);
+    // Distinct Zipf draws by rejection: the catalogue is much larger than a
+    // task's file set, so repeats are rare even under heavy skew.
+    std::unordered_set<wl::FileId> chosen;
+    while (chosen.size() < cfg.files_per_task)
+      chosen.insert(
+          static_cast<wl::FileId>(rng.zipf(catalog.size(), cfg.zipf_s)));
+    task.files.assign(chosen.begin(), chosen.end());
+    std::sort(task.files.begin(), task.files.end());
+    double bytes = 0.0;
+    for (wl::FileId f : task.files) bytes += catalog[f].size_bytes;
+    task.compute_seconds = bytes * cfg.compute_seconds_per_byte;
+  }
+  return wl::Workload(std::move(tasks), catalog);
+}
+
+CrossBatchCatalog::CrossBatchCatalog(std::size_t num_files,
+                                     const sim::ClusterConfig& cluster,
+                                     CrossBatchOptions options)
+    : num_files_(num_files),
+      cluster_(cluster),
+      options_(options),
+      popularity_(num_files, 0.0),
+      file_size_(num_files, 0.0) {
+  BSIO_CHECK_MSG(options_.carry_fraction > 0.0 &&
+                     options_.carry_fraction <= 1.0,
+                 "carry_fraction must be in (0, 1]");
+}
+
+void CrossBatchCatalog::fold_batch(const wl::Workload& batch,
+                                   const sim::InitialCacheState& final_cache,
+                                   double batch_start) {
+  BSIO_CHECK_MSG(batch.num_files() == num_files_,
+                 "service batches must share one file catalogue");
+  for (const auto& t : batch.tasks())
+    for (wl::FileId f : t.files) popularity_[f] += 1.0;
+  for (const auto& f : batch.files()) file_size_[f.id] = f.size_bytes;
+
+  // Re-stamp the batch-local snapshot onto the global service clock. The
+  // snapshot wholly replaces the previous carry: anything that did not
+  // survive the batch's own on-demand eviction is gone, and a shifted stamp
+  // preserves order within one snapshot.
+  carried_ = final_cache;
+  for (sim::CacheSeedEntry& e : carried_.entries) {
+    e.avail_time += batch_start;
+    e.last_use += batch_start;
+  }
+
+  // Inter-batch eviction: trim each node's carry to carry_fraction of its
+  // surviving bytes, choosing victims with the same Section 4.3 machinery
+  // the engine uses on demand (popularity numerator = all-time access
+  // counts, LRU key = the global-clock stamps).
+  if (options_.carry_fraction < 1.0 && !carried_.empty()) {
+    sim::ClusterState scratch(cluster_.num_compute_nodes, sim::kUnlimited);
+    std::vector<double> node_bytes(cluster_.num_compute_nodes, 0.0);
+    for (const sim::CacheSeedEntry& e : carried_.entries) {
+      scratch.restore(e.node, e.file, file_size_[e.file], e.avail_time,
+                      e.last_use);
+      node_bytes[e.node] += file_size_[e.file];
+    }
+    std::unordered_set<std::uint64_t> dropped;  // (node << 32) | file
+    for (wl::NodeId n = 0; n < cluster_.num_compute_nodes; ++n) {
+      const double need = node_bytes[n] * (1.0 - options_.carry_fraction);
+      if (need <= 0.0) continue;
+      const std::vector<wl::FileId> victims = scratch.select_victims(
+          n, need, /*pinned=*/{}, options_.eviction,
+          [&](wl::FileId f) { return popularity_[f]; },
+          [&](wl::FileId f) { return file_size_[f]; });
+      for (wl::FileId f : victims) {
+        dropped.insert((static_cast<std::uint64_t>(n) << 32) | f);
+        evicted_bytes_ += file_size_[f];
+        scratch.remove(n, f, file_size_[f]);
+      }
+    }
+    if (!dropped.empty())
+      std::erase_if(carried_.entries, [&](const sim::CacheSeedEntry& e) {
+        return dropped.count((static_cast<std::uint64_t>(e.node) << 32) |
+                             e.file) > 0;
+      });
+  }
+  ++batches_folded_;
+}
+
+sim::InitialCacheState CrossBatchCatalog::seed_for_next() const {
+  return carried_.rebased();
+}
+
+std::vector<wl::NodeId> CrossBatchCatalog::replica_nodes(
+    wl::FileId file) const {
+  std::vector<wl::NodeId> nodes;
+  for (const sim::CacheSeedEntry& e : carried_.entries)
+    if (e.file == file) nodes.push_back(e.node);
+  return nodes;
+}
+
+double CrossBatchCatalog::carried_bytes() const {
+  double bytes = 0.0;
+  for (const sim::CacheSeedEntry& e : carried_.entries)
+    bytes += file_size_[e.file];
+  return bytes;
+}
+
+}  // namespace bsio::service

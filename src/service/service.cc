@@ -1,0 +1,106 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace bsio::service {
+
+ServiceLoop::ServiceLoop(sched::Scheduler& scheduler,
+                         const sim::ClusterConfig& cluster,
+                         std::size_t num_files, ServiceOptions options)
+    : scheduler_(scheduler),
+      cluster_(cluster),
+      options_(std::move(options)),
+      catalog_(num_files, cluster, options_.cross_batch) {}
+
+Result<ServiceResult> ServiceLoop::run(std::vector<BatchArrival> arrivals) {
+  if (const Status v = cluster_.validate(); !v.ok()) return v.error();
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    if (arrivals[i].time < arrivals[i - 1].time)
+      return Err("arrival sequence must be sorted by time");
+
+  AdmissionQueue queue(cluster_, options_.admission);
+  ServiceResult result;
+  double clock = 0.0;       // the executor's service clock
+  std::size_t next = 0;     // first arrival not yet offered
+
+  while (next < arrivals.size() || !queue.empty()) {
+    // Idle executor, empty queue: jump to the next arrival.
+    if (queue.empty() && arrivals[next].time > clock)
+      clock = arrivals[next].time;
+    // Admit everything that has arrived by now. Offers that outrun a
+    // bounded queue are rejected (backpressure), counted, and dropped.
+    while (next < arrivals.size() && arrivals[next].time <= clock) {
+      if (const Status s = queue.offer(std::move(arrivals[next])); !s.ok()) {
+        BSIO_LOG(kDebug) << "service: " << s.error().message;
+        ++result.stats.rejected_batches;
+      }
+      ++next;
+    }
+
+    QueuedBatch q = queue.pop();
+
+    // The scheduler instance is reused across batches; clear its per-run
+    // counters so begin_batch()'s stats-reuse guard passes and each batch
+    // reports only its own solver work.
+    scheduler_.reset_run_stats();
+
+    const sim::InitialCacheState seed = catalog_.seed_for_next();
+    sched::BatchRunOptions run_options;
+    run_options.faults = options_.faults;
+    run_options.capture_final_cache = true;
+    if (options_.warm_start && !seed.empty())
+      run_options.initial_cache = &seed;
+
+    const double start = std::max(clock, q.arrival.time);
+    sched::BatchRunResult r =
+        sched::run_batch(scheduler_, q.arrival.batch, cluster_, run_options);
+    if (!r.ok())
+      return Err("batch " + std::to_string(q.arrival.index) +
+                 " failed in service: " + r.error);
+
+    BatchServiceMetrics m;
+    m.index = q.arrival.index;
+    m.tasks = q.arrival.batch.num_tasks();
+    m.arrival_time = q.arrival.time;
+    m.start_time = start;
+    m.queue_wait = start - q.arrival.time;
+    m.planning_seconds = r.scheduling_seconds;
+    m.makespan = r.batch_time;
+    m.response_time = m.queue_wait + m.makespan;
+    m.cross_batch_hit_bytes = r.stats.warm_hit_bytes;
+    m.cache_hit_bytes = r.stats.cache_hit_bytes;
+    m.remote_bytes = r.stats.remote_bytes;
+    m.replica_bytes = r.stats.replica_bytes;
+    m.stats = r.stats;
+
+    clock = start + r.batch_time;
+    catalog_.fold_batch(q.arrival.batch, r.final_cache, start);
+
+    result.stats.mean_queue_wait += m.queue_wait;
+    result.stats.mean_response_time += m.response_time;
+    result.stats.max_response_time =
+        std::max(result.stats.max_response_time, m.response_time);
+    result.stats.total_planning_seconds += m.planning_seconds;
+    result.stats.total_makespan += m.makespan;
+    result.stats.cross_batch_hit_bytes += m.cross_batch_hit_bytes;
+    result.stats.remote_bytes += m.remote_bytes;
+    ++result.stats.batches_served;
+    result.batches.push_back(std::move(m));
+  }
+
+  if (result.stats.batches_served > 0) {
+    const double n = static_cast<double>(result.stats.batches_served);
+    result.stats.mean_queue_wait /= n;
+    result.stats.mean_response_time /= n;
+  }
+  result.stats.completion_time = clock;
+  result.stats.carried_bytes_final = catalog_.carried_bytes();
+  result.stats.evicted_bytes = catalog_.evicted_bytes();
+  return result;
+}
+
+}  // namespace bsio::service

@@ -1,0 +1,96 @@
+// The online multi-batch scheduling service.
+//
+// ServiceLoop drives a single-executor event loop over a batch arrival
+// sequence: arrivals enter the admission queue (FIFO or SJF, bounded with
+// typed rejection), the executor dequeues one batch at a time and runs it
+// through the ordinary batch driver with the chosen scheduler — warm,
+// seeding the engine with the cache snapshot the previous batches left
+// behind (CrossBatchCatalog), so popular files are served from compute-node
+// disks instead of re-staged per batch. Per-batch service metrics (queue
+// wait, planning time, makespan, response time, cross-batch hit bytes)
+// aggregate into ServiceStats; bench/service_throughput sweeps arrival
+// rates and schedulers over them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sched/driver.h"
+#include "sched/scheduler.h"
+#include "service/admission.h"
+#include "service/arrival.h"
+#include "service/catalog.h"
+#include "sim/cluster.h"
+#include "sim/faults.h"
+#include "util/error.h"
+
+namespace bsio::service {
+
+struct ServiceOptions {
+  AdmissionOptions admission;
+  CrossBatchOptions cross_batch;
+  // Warm start: seed each batch's engine with the carried cache snapshot.
+  // false = the cold ablation — identical batches and arrivals, every
+  // engine starts empty.
+  bool warm_start = true;
+  sim::FaultConfig faults;
+};
+
+// One batch's service record.
+struct BatchServiceMetrics {
+  std::size_t index = 0;        // arrival index
+  std::size_t tasks = 0;
+  double arrival_time = 0.0;
+  double start_time = 0.0;      // when the executor picked it up
+  double queue_wait = 0.0;      // start - arrival
+  double planning_seconds = 0.0;  // wall-clock scheduling overhead
+  double makespan = 0.0;          // simulated batch execution time
+  double response_time = 0.0;     // queue_wait + makespan
+  // Cross-batch reuse: bytes served from copies the warm seed carried in.
+  double cross_batch_hit_bytes = 0.0;
+  double cache_hit_bytes = 0.0;   // all in-cache serves (incl. within-batch)
+  double remote_bytes = 0.0;
+  double replica_bytes = 0.0;
+  sim::ExecutionStats stats;      // the batch's full engine counters
+};
+
+// Aggregates over one service run.
+struct ServiceStats {
+  std::size_t batches_served = 0;
+  std::size_t rejected_batches = 0;  // admission backpressure drops
+  double mean_queue_wait = 0.0;
+  double mean_response_time = 0.0;
+  double max_response_time = 0.0;
+  double total_planning_seconds = 0.0;
+  double total_makespan = 0.0;        // sum of per-batch makespans
+  double completion_time = 0.0;       // service clock when the last batch drained
+  double cross_batch_hit_bytes = 0.0;
+  double remote_bytes = 0.0;
+  double carried_bytes_final = 0.0;   // snapshot bytes after the last fold
+  double evicted_bytes = 0.0;         // inter-batch eviction total
+};
+
+struct ServiceResult {
+  std::vector<BatchServiceMetrics> batches;
+  ServiceStats stats;
+};
+
+class ServiceLoop {
+ public:
+  ServiceLoop(sched::Scheduler& scheduler, const sim::ClusterConfig& cluster,
+              std::size_t num_files, ServiceOptions options = {});
+
+  // Serves the arrival sequence to completion (arrivals must be sorted by
+  // time). Typed errors: an invalid cluster, or a batch run failing
+  // mid-service. Rejected batches are counted, not errors.
+  Result<ServiceResult> run(std::vector<BatchArrival> arrivals);
+
+ private:
+  sched::Scheduler& scheduler_;
+  sim::ClusterConfig cluster_;
+  ServiceOptions options_;
+  CrossBatchCatalog catalog_;
+};
+
+}  // namespace bsio::service

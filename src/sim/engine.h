@@ -77,6 +77,12 @@ struct ExecutionStats {
   std::size_t cache_hits = 0;  // needed file already on the node
   double remote_bytes = 0.0;
   double replica_bytes = 0.0;
+  // Bytes served straight from a node's cache (one count per (task, file)
+  // request that needed no transfer), and the subset of those attributable
+  // to files carried in by seed_cache() — the cross-batch reuse the online
+  // service reports per batch.
+  double cache_hit_bytes = 0.0;
+  double warm_hit_bytes = 0.0;
 
   // Failure / recovery counters (all zero with faults disabled).
   std::size_t transfer_retries = 0;   // failed transfer attempts
@@ -98,12 +104,27 @@ struct ExecutionStats {
   long mip_nodes = 0;
 
   void accumulate(const ExecutionStats& o);
+
+  // Returns every counter to zero. Callers that reuse one ExecutionStats
+  // across batch runs (the online service's per-batch reports) must reset
+  // between runs or the per-run numbers silently aggregate — see the
+  // scheduler-side guard in sched::Scheduler::begin_batch().
+  void reset() { *this = ExecutionStats{}; }
 };
 
 class ExecutionEngine {
  public:
   ExecutionEngine(const ClusterConfig& cluster, const wl::Workload& workload,
                   EngineOptions options = {});
+
+  // Warm start: pre-populates the disk caches from a snapshot carried over
+  // from a previous batch run (the online service's cross-batch reuse).
+  // Must be called before the first execute(); entries must name known
+  // files and alive compute nodes, fit each node's capacity, and not repeat
+  // a (node, file) pair. Availability and last-use stamps are applied
+  // verbatim, so planners and the LRU eviction policy see exactly the
+  // source run's cache. On error nothing is seeded.
+  Status seed_cache(const InitialCacheState& seed);
 
   // Executes one sub-batch plan on top of the current cluster state; returns
   // the stats of this call. A malformed plan (unknown task/node ids, a task
@@ -210,6 +231,8 @@ class ExecutionEngine {
   std::vector<double> pending_requests_;
   std::vector<bool> executed_;
   std::vector<bool> was_evicted_;  // per file: evicted at least once
+  std::vector<bool> seeded_;       // per file: carried in by seed_cache()
+  bool started_ = false;           // an execute() call has run
   double makespan_ = 0.0;
   ExecutionStats totals_;
   std::vector<TraceEvent> trace_;

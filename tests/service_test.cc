@@ -1,0 +1,672 @@
+// Online service layer tests.
+//
+// Part 1 is the warm-start golden differential: for every scheduler, a
+// fresh engine seeded with the cache snapshot a previous batch left behind
+// must plan the next batch BIT-identically to the engine that actually ran
+// that previous batch (planners read residency only through ClusterState,
+// so a faithful snapshot is indistinguishable from history). Part 2 covers
+// the seeding plumbing end to end (run_batch's warm path vs a hand-driven
+// loop), the snapshot/rebase machinery, arrivals, admission, the service
+// loop's warm-vs-cold contract, and the scheduler stats-reuse guard.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/bipartition.h"
+#include "sched/driver.h"
+#include "sched/ip_scheduler.h"
+#include "sched/job_data_present.h"
+#include "sched/minmin.h"
+#include "service/admission.h"
+#include "service/arrival.h"
+#include "service/catalog.h"
+#include "service/service.h"
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "util/thread_pool.h"
+
+namespace bsio {
+namespace {
+
+std::uint64_t plan_hash(const sim::SubBatchPlan& p) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (wl::TaskId t : p.tasks) {
+    mix(t);
+    mix(p.assignment.at(t));
+  }
+  for (const auto& [k, v] : p.staging) {
+    mix(k.first);
+    mix(k.second);
+    mix(static_cast<std::uint64_t>(v.kind));
+    mix(v.src_node);
+  }
+  for (const auto& [f, n] : p.prefetches) {
+    mix(f);
+    mix(n);
+  }
+  return h;
+}
+
+// One shared catalogue for every batch in a test (the service invariant:
+// stable file ids across batches).
+std::vector<wl::FileInfo> test_catalog() {
+  service::SharedCatalogConfig cfg;
+  cfg.num_files = 48;
+  cfg.mean_file_size_bytes = 25.0 * sim::kMB;
+  cfg.file_size_jitter = 0.2;
+  cfg.num_storage_nodes = 2;
+  cfg.seed = 5;
+  return service::make_shared_catalog(cfg);
+}
+
+service::ServiceBatchConfig test_batch_cfg(std::size_t tasks = 10) {
+  service::ServiceBatchConfig cfg;
+  cfg.tasks_per_batch = tasks;
+  cfg.files_per_task = 3;
+  cfg.zipf_s = 1.0;
+  return cfg;
+}
+
+sim::ClusterConfig test_cluster(double disk_capacity = sim::kUnlimited) {
+  sim::ClusterConfig c;
+  c.num_compute_nodes = 4;
+  c.num_storage_nodes = 2;
+  c.storage_disk_bw = 50.0 * sim::kMB;
+  c.storage_net_bw = 500.0 * sim::kMB;
+  c.compute_net_bw = 400.0 * sim::kMB;
+  c.local_disk_bw = 200.0 * sim::kMB;
+  c.disk_capacity = disk_capacity;
+  return c;
+}
+
+struct SchedulerFactory {
+  const char* name;
+  std::unique_ptr<sched::Scheduler> (*make)();
+};
+
+const SchedulerFactory kSchedulers[] = {
+    {"MinMin", [] { return std::unique_ptr<sched::Scheduler>(
+                        std::make_unique<sched::MinMinScheduler>()); }},
+    {"JobDataPresent",
+     [] { return std::unique_ptr<sched::Scheduler>(
+              std::make_unique<sched::JobDataPresentScheduler>()); }},
+    {"BiPartition",
+     [] { return std::unique_ptr<sched::Scheduler>(
+              std::make_unique<sched::BiPartitionScheduler>()); }},
+    {"IP", [] { return std::unique_ptr<sched::Scheduler>(
+                    std::make_unique<sched::IpScheduler>()); }},
+};
+
+// Drives `pending` to completion on `eng` with `s` (the run_batch core
+// without its bookkeeping), so tests can interleave captures.
+void drain(sched::Scheduler& s, sim::ExecutionEngine& eng,
+           const wl::Workload& w, const sim::ClusterConfig& c,
+           std::vector<wl::TaskId> pending) {
+  sched::SchedulerContext ctx(w, c, eng);
+  while (!pending.empty()) {
+    ctx.refresh_alive();
+    sim::SubBatchPlan plan = s.plan_sub_batch(pending, ctx);
+    auto r = eng.execute(plan);
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    std::unordered_set<wl::TaskId> done(plan.tasks.begin(), plan.tasks.end());
+    std::erase_if(pending, [&](wl::TaskId t) { return done.count(t) > 0; });
+  }
+}
+
+// ------------------------------------------- warm-start golden differential
+
+// Builds the two views of one history: W_merged holds batch B's tasks at
+// ids [0, nB) and batch A's tasks appended after (the Workload constructor
+// renumbers positionally), W_b holds batch B alone at the same ids. Running
+// A to completion on a W_merged engine and snapshotting its caches gives a
+// seed; a fresh W_b engine restored from that seed must plan B identically.
+struct DifferentialFixture {
+  std::vector<wl::FileInfo> catalog = test_catalog();
+  wl::Workload merged;
+  wl::Workload batch_only;
+  std::vector<wl::TaskId> pending_a;  // A's ids within `merged`
+  std::vector<wl::TaskId> pending_b;  // B's ids in both workloads
+
+  DifferentialFixture() {
+    const wl::Workload a =
+        service::make_service_batch(catalog, test_batch_cfg(8), 21);
+    const wl::Workload b =
+        service::make_service_batch(catalog, test_batch_cfg(10), 22);
+    std::vector<wl::TaskInfo> tasks(b.tasks());
+    tasks.insert(tasks.end(), a.tasks().begin(), a.tasks().end());
+    merged = wl::Workload(std::move(tasks), catalog);
+    batch_only = wl::Workload(b.tasks(), catalog);
+    for (std::size_t t = 0; t < b.num_tasks(); ++t)
+      pending_b.push_back(static_cast<wl::TaskId>(t));
+    for (std::size_t t = b.num_tasks(); t < merged.num_tasks(); ++t)
+      pending_a.push_back(static_cast<wl::TaskId>(t));
+  }
+};
+
+void expect_first_plan_identity(const sim::ClusterConfig& c) {
+  ThreadPool::set_global_threads(1);
+  DifferentialFixture fx;
+  for (const auto& spec : kSchedulers) {
+    SCOPED_TRACE(spec.name);
+    // History: run batch A on the merged engine, snapshot its caches.
+    auto sched_a = spec.make();
+    sim::ExecutionEngine merged_eng(
+        c, fx.merged, {sched_a->eviction_policy(), false, {}});
+    drain(*sched_a, merged_eng, fx.merged, c, fx.pending_a);
+    const sim::InitialCacheState seed =
+        sim::InitialCacheState::capture(merged_eng.state());
+    ASSERT_FALSE(seed.empty());
+
+    // Continuation: plan B on the engine that lived through A.
+    auto sched_m = spec.make();
+    sched::SchedulerContext ctx_m(fx.merged, c, merged_eng, &seed);
+    const std::uint64_t continued =
+        plan_hash(sched_m->plan_sub_batch(fx.pending_b, ctx_m));
+
+    // Warm start: plan B on a fresh engine restored from the snapshot.
+    auto sched_w = spec.make();
+    sim::ExecutionEngine warm_eng(c, fx.batch_only,
+                                  {sched_w->eviction_policy(), false, {}});
+    ASSERT_TRUE(warm_eng.seed_cache(seed).ok());
+    sched::SchedulerContext ctx_w(fx.batch_only, c, warm_eng, &seed);
+    const std::uint64_t warm =
+        plan_hash(sched_w->plan_sub_batch(fx.pending_b, ctx_w));
+
+    EXPECT_EQ(continued, warm);
+  }
+}
+
+TEST(WarmStartDifferential, FirstPlanBitIdenticalUnlimitedDisk) {
+  expect_first_plan_identity(test_cluster());
+}
+
+TEST(WarmStartDifferential, FirstPlanBitIdenticalLimitedDisk) {
+  expect_first_plan_identity(test_cluster(600.0 * sim::kMB));
+}
+
+// run_batch's warm path must be exactly "seed, then the ordinary loop": a
+// hand-driven seeded loop reproduces its makespan and counters bit for bit.
+TEST(WarmStartDifferential, RunBatchSeedMatchesManualLoop) {
+  ThreadPool::set_global_threads(1);
+  const sim::ClusterConfig c = test_cluster(600.0 * sim::kMB);
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const wl::Workload a =
+      service::make_service_batch(catalog, test_batch_cfg(8), 31);
+  const wl::Workload b =
+      service::make_service_batch(catalog, test_batch_cfg(10), 32);
+
+  for (const auto& spec : kSchedulers) {
+    SCOPED_TRACE(spec.name);
+    auto sched_a = spec.make();
+    sched::BatchRunOptions cap;
+    cap.capture_final_cache = true;
+    const sched::BatchRunResult ra = sched::run_batch(*sched_a, a, c, cap);
+    ASSERT_TRUE(ra.ok()) << ra.error;
+    ASSERT_FALSE(ra.final_cache.empty());
+
+    sched::BatchRunOptions warm;
+    warm.initial_cache = &ra.final_cache;
+    auto sched_b = spec.make();
+    const sched::BatchRunResult rb = sched::run_batch(*sched_b, b, c, warm);
+    ASSERT_TRUE(rb.ok()) << rb.error;
+
+    auto sched_manual = spec.make();
+    sim::ExecutionEngine eng(c, b, {sched_manual->eviction_policy(), false, {}});
+    ASSERT_TRUE(eng.seed_cache(ra.final_cache).ok());
+    std::vector<wl::TaskId> pending;
+    for (const auto& t : b.tasks()) pending.push_back(t.id);
+    drain(*sched_manual, eng, b, c, pending);
+
+    EXPECT_EQ(rb.batch_time, eng.makespan());
+    EXPECT_EQ(rb.stats.remote_transfers, eng.totals().remote_transfers);
+    EXPECT_EQ(rb.stats.cache_hits, eng.totals().cache_hits);
+    EXPECT_EQ(rb.stats.warm_hit_bytes, eng.totals().warm_hit_bytes);
+    EXPECT_GT(rb.stats.warm_hit_bytes, 0.0);  // shared hot files pay off
+  }
+}
+
+// ---------------------------------------------------- snapshot machinery
+
+TEST(InitialCacheState, CaptureSeedRoundTrips) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const wl::Workload w =
+      service::make_service_batch(catalog, test_batch_cfg(8), 41);
+  const sim::ClusterConfig c = test_cluster();
+  sched::MinMinScheduler mm;
+  sched::BatchRunOptions cap;
+  cap.capture_final_cache = true;
+  const auto r = sched::run_batch(mm, w, c, cap);
+  ASSERT_TRUE(r.ok());
+  const sim::InitialCacheState& seed = r.final_cache;
+  ASSERT_FALSE(seed.empty());
+  for (std::size_t i = 1; i < seed.entries.size(); ++i) {
+    const auto& p = seed.entries[i - 1];
+    const auto& q = seed.entries[i];
+    EXPECT_TRUE(p.node < q.node || (p.node == q.node && p.file < q.file));
+  }
+
+  sim::ExecutionEngine eng(c, w);
+  ASSERT_TRUE(eng.seed_cache(seed).ok());
+  const sim::InitialCacheState again =
+      sim::InitialCacheState::capture(eng.state());
+  ASSERT_EQ(again.entries.size(), seed.entries.size());
+  for (std::size_t i = 0; i < seed.entries.size(); ++i) {
+    EXPECT_EQ(again.entries[i].node, seed.entries[i].node);
+    EXPECT_EQ(again.entries[i].file, seed.entries[i].file);
+    EXPECT_EQ(again.entries[i].avail_time, seed.entries[i].avail_time);
+    EXPECT_EQ(again.entries[i].last_use, seed.entries[i].last_use);
+  }
+}
+
+TEST(InitialCacheState, RebasedShiftsStampsPreservingOrder) {
+  sim::InitialCacheState s;
+  s.entries = {{0, 1, 12.0, 20.0}, {0, 2, 5.0, 7.0}, {1, 1, 3.0, 15.0}};
+  const sim::InitialCacheState r = s.rebased();
+  ASSERT_EQ(r.entries.size(), 3u);
+  for (const auto& e : r.entries) {
+    EXPECT_EQ(e.avail_time, 0.0);
+    EXPECT_LE(e.last_use, 0.0);
+  }
+  // 20 was youngest -> stays largest after the shift.
+  EXPECT_GT(r.entries[0].last_use, r.entries[1].last_use);
+  EXPECT_GT(r.entries[2].last_use, r.entries[1].last_use);
+  EXPECT_EQ(r.entries[0].last_use, 0.0);
+}
+
+TEST(SeedCache, RejectsMalformedSeeds) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const wl::Workload w =
+      service::make_service_batch(catalog, test_batch_cfg(4), 43);
+  const sim::ClusterConfig c = test_cluster(100.0 * sim::kMB);
+
+  auto expect_rejected = [&](const sim::InitialCacheState& seed) {
+    sim::ExecutionEngine eng(c, w);
+    const Status s = eng.seed_cache(seed);
+    EXPECT_FALSE(s.ok());
+    // Failed validation must seed nothing.
+    for (const auto& e : seed.entries) {
+      if (e.node < c.num_compute_nodes && e.file < w.num_files()) {
+        EXPECT_FALSE(eng.state().has(e.node, e.file));
+      }
+    }
+  };
+
+  sim::InitialCacheState bad_file;
+  bad_file.entries = {{0, static_cast<wl::FileId>(w.num_files()), 0.0, 0.0}};
+  expect_rejected(bad_file);
+
+  sim::InitialCacheState bad_node;
+  bad_node.entries = {{static_cast<wl::NodeId>(c.num_compute_nodes), 0, 0.0,
+                       0.0}};
+  expect_rejected(bad_node);
+
+  sim::InitialCacheState negative;
+  negative.entries = {{0, 0, -1.0, 0.0}};
+  expect_rejected(negative);
+
+  sim::InitialCacheState dup;
+  dup.entries = {{0, 0, 0.0, 0.0}, {0, 0, 0.0, 0.0}};
+  expect_rejected(dup);
+
+  sim::InitialCacheState overflow;  // every file on one 100 MB node
+  for (wl::FileId f = 0; f < w.num_files(); ++f)
+    overflow.entries.push_back({0, f, 0.0, 0.0});
+  expect_rejected(overflow);
+
+  // Seeding after execution has started is a typed error too.
+  sched::MinMinScheduler mm;
+  sim::ExecutionEngine eng(test_cluster(), w);
+  std::vector<wl::TaskId> pending;
+  for (const auto& t : w.tasks()) pending.push_back(t.id);
+  drain(mm, eng, w, test_cluster(), pending);
+  sim::InitialCacheState ok_seed;
+  ok_seed.entries = {{0, 0, 0.0, 0.0}};
+  EXPECT_FALSE(eng.seed_cache(ok_seed).ok());
+}
+
+// --------------------------------------------------------------- arrivals
+
+TEST(Arrivals, PoissonDeterministicAndContentStable) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::ArrivalConfig cfg;
+  cfg.rate = 0.01;
+  cfg.num_batches = 5;
+  cfg.seed = 9;
+  service::BatchArrivalProcess p(catalog, test_batch_cfg(6), cfg);
+  auto a = p.generate();
+  auto b = p.generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.value()[i].time, b.value()[i].time);
+    EXPECT_EQ(a.value()[i].index, i);
+    if (i > 0) {
+      EXPECT_GT(a.value()[i].time, a.value()[i - 1].time);
+    }
+  }
+
+  // The rate moves WHEN batches arrive, never WHAT they contain.
+  service::ArrivalConfig fast = cfg;
+  fast.rate = 1.0;
+  service::BatchArrivalProcess q(catalog, test_batch_cfg(6), fast);
+  auto f = q.generate();
+  ASSERT_TRUE(f.ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(f.value()[i].batch.num_tasks(), a.value()[i].batch.num_tasks());
+    for (std::size_t t = 0; t < a.value()[i].batch.num_tasks(); ++t)
+      EXPECT_EQ(f.value()[i].batch.task(t).files,
+                a.value()[i].batch.task(t).files);
+    EXPECT_LT(f.value()[i].time, a.value()[i].time);
+  }
+}
+
+TEST(Arrivals, TraceFileParsesOverridesAndComments) {
+  const std::string path = testing::TempDir() + "service_trace.txt";
+  {
+    std::ofstream out(path);
+    out << "# batch arrival trace\n"
+        << "0.5\n"
+        << "\n"
+        << "2.0 4   # four tasks\n"
+        << "2.0\n";
+  }
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::ArrivalConfig cfg;
+  cfg.trace_path = path;
+  cfg.seed = 9;
+  service::BatchArrivalProcess p(catalog, test_batch_cfg(6), cfg);
+  auto a = p.generate();
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_EQ(a.value().size(), 3u);
+  EXPECT_EQ(a.value()[0].time, 0.5);
+  EXPECT_EQ(a.value()[1].time, 2.0);
+  EXPECT_EQ(a.value()[0].batch.num_tasks(), 6u);  // configured size
+  EXPECT_EQ(a.value()[1].batch.num_tasks(), 4u);  // per-line override
+  EXPECT_EQ(a.value()[2].batch.num_tasks(), 6u);
+}
+
+TEST(Arrivals, TraceErrorsAreTyped) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  auto generate = [&](const std::string& content) {
+    const std::string path = testing::TempDir() + "bad_trace.txt";
+    std::ofstream(path) << content;
+    service::ArrivalConfig cfg;
+    cfg.trace_path = path;
+    service::BatchArrivalProcess p(catalog, test_batch_cfg(4), cfg);
+    return p.generate();
+  };
+  EXPECT_FALSE(generate("5.0\n1.0\n").ok());   // non-monotone
+  EXPECT_FALSE(generate("banana\n").ok());     // not a number
+  EXPECT_FALSE(generate("1.0 -3\n").ok());     // non-positive size
+  EXPECT_FALSE(generate("# only comments\n").ok());
+
+  service::ArrivalConfig missing;
+  missing.trace_path = testing::TempDir() + "does_not_exist_xyz.txt";
+  service::BatchArrivalProcess p(catalog, test_batch_cfg(4), missing);
+  EXPECT_FALSE(p.generate().ok());
+
+  service::ArrivalConfig bad_rate;  // Poisson path: rate must be positive
+  bad_rate.rate = 0.0;
+  service::BatchArrivalProcess q(catalog, test_batch_cfg(4), bad_rate);
+  EXPECT_FALSE(q.generate().ok());
+}
+
+// -------------------------------------------------------------- admission
+
+service::BatchArrival arrival_of(const std::vector<wl::FileInfo>& catalog,
+                                 std::size_t tasks, std::size_t index,
+                                 double time) {
+  service::BatchArrival a;
+  a.time = time;
+  a.index = index;
+  a.batch = service::make_service_batch(catalog, test_batch_cfg(tasks),
+                                        100 + index);
+  return a;
+}
+
+TEST(Admission, FifoPopsInArrivalOrder) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionQueue q(test_cluster(), {});
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 12, 0, 0.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 2, 1, 1.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 6, 2, 2.0)).ok());
+  EXPECT_EQ(q.pop().arrival.index, 0u);
+  EXPECT_EQ(q.pop().arrival.index, 1u);
+  EXPECT_EQ(q.pop().arrival.index, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Admission, ShortestBatchFirstOrdersByEstimate) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionOptions opt;
+  opt.policy = service::AdmissionPolicy::kShortestBatchFirst;
+  service::AdmissionQueue q(test_cluster(), opt);
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 12, 0, 0.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 2, 1, 1.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 6, 2, 2.0)).ok());
+  EXPECT_EQ(q.pop().arrival.index, 1u);  // 2 tasks
+  EXPECT_EQ(q.pop().arrival.index, 2u);  // 6 tasks
+  EXPECT_EQ(q.pop().arrival.index, 0u);  // 12 tasks
+}
+
+TEST(Admission, EstimateIsMonotoneInBatchSize) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const sim::ClusterConfig c = test_cluster();
+  const double small = service::estimate_batch_seconds(
+      service::make_service_batch(catalog, test_batch_cfg(2), 7), c);
+  const double big = service::estimate_batch_seconds(
+      service::make_service_batch(catalog, test_batch_cfg(16), 7), c);
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(big, small);
+}
+
+TEST(Admission, BoundedQueueRejectsWithTypedError) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionOptions opt;
+  opt.max_queue_depth = 2;
+  service::AdmissionQueue q(test_cluster(), opt);
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 4, 0, 0.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 4, 1, 0.0)).ok());
+  const Status s = q.offer(arrival_of(catalog, 4, 2, 0.0));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("full"), std::string::npos);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// ---------------------------------------------------- cross-batch catalog
+
+TEST(CrossBatchCatalog, AccumulatesPopularityAndRebasesSeeds) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const sim::ClusterConfig c = test_cluster(600.0 * sim::kMB);
+  service::CrossBatchCatalog cbc(catalog.size(), c);
+  EXPECT_TRUE(cbc.seed_for_next().empty());
+
+  const wl::Workload w =
+      service::make_service_batch(catalog, test_batch_cfg(8), 51);
+  sched::MinMinScheduler mm;
+  sched::BatchRunOptions cap;
+  cap.capture_final_cache = true;
+  const auto r = sched::run_batch(mm, w, c, cap);
+  ASSERT_TRUE(r.ok());
+
+  cbc.fold_batch(w, r.final_cache, /*batch_start=*/100.0);
+  EXPECT_EQ(cbc.batches_folded(), 1u);
+  double requests = 0.0;
+  for (wl::FileId f = 0; f < catalog.size(); ++f) requests += cbc.popularity(f);
+  EXPECT_EQ(requests, 8.0 * 3.0);  // tasks * files_per_task
+
+  const sim::InitialCacheState seed = cbc.seed_for_next();
+  ASSERT_EQ(seed.entries.size(), r.final_cache.entries.size());
+  for (const auto& e : seed.entries) {
+    EXPECT_EQ(e.avail_time, 0.0);
+    EXPECT_LE(e.last_use, 0.0);
+  }
+  // Replica map agrees with the snapshot.
+  const wl::FileId f0 = seed.entries.front().file;
+  EXPECT_FALSE(cbc.replica_nodes(f0).empty());
+  EXPECT_GT(cbc.carried_bytes(), 0.0);
+
+  // Folding a second batch doubles nothing away: popularity accumulates.
+  cbc.fold_batch(w, r.final_cache, /*batch_start=*/200.0);
+  double requests2 = 0.0;
+  for (wl::FileId f = 0; f < catalog.size(); ++f)
+    requests2 += cbc.popularity(f);
+  EXPECT_EQ(requests2, 2.0 * requests);
+}
+
+TEST(CrossBatchCatalog, CarryFractionEvictsBetweenBatches) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const sim::ClusterConfig c = test_cluster(600.0 * sim::kMB);
+  const wl::Workload w =
+      service::make_service_batch(catalog, test_batch_cfg(8), 51);
+  sched::MinMinScheduler mm;
+  sched::BatchRunOptions cap;
+  cap.capture_final_cache = true;
+  const auto r = sched::run_batch(mm, w, c, cap);
+  ASSERT_TRUE(r.ok());
+
+  service::CrossBatchCatalog full(catalog.size(), c, {});
+  full.fold_batch(w, r.final_cache, 0.0);
+
+  service::CrossBatchOptions half_opt;
+  half_opt.carry_fraction = 0.5;
+  service::CrossBatchCatalog half(catalog.size(), c, half_opt);
+  half.fold_batch(w, r.final_cache, 0.0);
+
+  EXPECT_EQ(full.evicted_bytes(), 0.0);
+  EXPECT_GT(half.evicted_bytes(), 0.0);
+  EXPECT_LT(half.carried_bytes(), full.carried_bytes());
+  EXPECT_LE(half.carried_bytes(), 0.5 * full.carried_bytes() + 1.0);
+}
+
+// ------------------------------------------------------------ service loop
+
+TEST(ServiceLoop, WarmBeatsColdAndIsDeterministic) {
+  ThreadPool::set_global_threads(1);
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const sim::ClusterConfig c = test_cluster(600.0 * sim::kMB);
+  service::ArrivalConfig acfg;
+  acfg.rate = 0.02;
+  acfg.num_batches = 3;
+  acfg.seed = 13;
+  service::BatchArrivalProcess arrivals(catalog, test_batch_cfg(8), acfg);
+
+  auto run_once = [&](bool warm) {
+    auto gen = arrivals.generate();
+    EXPECT_TRUE(gen.ok());
+    sched::MinMinScheduler mm;
+    service::ServiceOptions opt;
+    opt.warm_start = warm;
+    service::ServiceLoop loop(mm, c, catalog.size(), opt);
+    auto r = loop.run(std::move(gen).value());
+    EXPECT_TRUE(r.ok());
+    return std::move(r).value();
+  };
+
+  const service::ServiceResult cold = run_once(false);
+  const service::ServiceResult warm = run_once(true);
+  const service::ServiceResult warm2 = run_once(true);
+
+  ASSERT_EQ(cold.stats.batches_served, 3u);
+  ASSERT_EQ(warm.stats.batches_served, 3u);
+  EXPECT_EQ(cold.stats.cross_batch_hit_bytes, 0.0);
+  EXPECT_GT(warm.stats.cross_batch_hit_bytes, 0.0);
+  EXPECT_LT(warm.stats.mean_response_time, cold.stats.mean_response_time);
+  // The first batch has no history: its metrics match the cold run.
+  EXPECT_EQ(warm.batches[0].makespan, cold.batches[0].makespan);
+  EXPECT_EQ(warm.batches[0].cross_batch_hit_bytes, 0.0);
+  EXPECT_GT(warm.batches[1].cross_batch_hit_bytes, 0.0);
+  // Bit-determinism across runs.
+  EXPECT_EQ(warm.stats.mean_response_time, warm2.stats.mean_response_time);
+  EXPECT_EQ(warm.stats.cross_batch_hit_bytes,
+            warm2.stats.cross_batch_hit_bytes);
+  // Response = wait + makespan, aggregated consistently.
+  for (const auto& b : warm.batches) {
+    EXPECT_EQ(b.response_time, b.queue_wait + b.makespan);
+    EXPECT_GE(b.start_time, b.arrival_time);
+  }
+}
+
+TEST(ServiceLoop, BackpressureCountsRejections) {
+  ThreadPool::set_global_threads(1);
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const sim::ClusterConfig c = test_cluster();
+  // Every batch arrives before the first finishes; depth 1 must shed load.
+  std::vector<service::BatchArrival> arrivals;
+  for (std::size_t i = 0; i < 4; ++i)
+    arrivals.push_back(arrival_of(catalog, 6, i, 0.0));
+  sched::MinMinScheduler mm;
+  service::ServiceOptions opt;
+  opt.admission.max_queue_depth = 1;
+  service::ServiceLoop loop(mm, c, catalog.size(), opt);
+  auto r = loop.run(std::move(arrivals));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().stats.rejected_batches, 0u);
+  EXPECT_EQ(r.value().stats.batches_served +
+                r.value().stats.rejected_batches,
+            4u);
+}
+
+TEST(ServiceLoop, RejectsUnsortedArrivals) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  std::vector<service::BatchArrival> arrivals;
+  arrivals.push_back(arrival_of(catalog, 4, 0, 5.0));
+  arrivals.push_back(arrival_of(catalog, 4, 1, 1.0));
+  sched::MinMinScheduler mm;
+  service::ServiceLoop loop(mm, test_cluster(), catalog.size(), {});
+  EXPECT_FALSE(loop.run(std::move(arrivals)).ok());
+}
+
+// ------------------------------------------------------- stats-reuse guard
+
+TEST(StatsReuseGuard, IpSchedulerRefusesSecondRunWithoutReset) {
+  ThreadPool::set_global_threads(1);
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  const wl::Workload w =
+      service::make_service_batch(catalog, test_batch_cfg(4), 61);
+  const sim::ClusterConfig c = test_cluster();
+  sched::IpScheduler ip;
+  const auto first = sched::run_batch(ip, w, c);
+  ASSERT_TRUE(first.ok()) << first.error;
+  ASSERT_GT(first.stats.lp_pivots + first.stats.mip_nodes, 0);
+
+  const auto second = sched::run_batch(ip, w, c);
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.error.find("reset_run_stats"), std::string::npos);
+  EXPECT_EQ(second.tasks_stranded, w.num_tasks());
+
+  ip.reset_run_stats();
+  const auto third = sched::run_batch(ip, w, c);
+  ASSERT_TRUE(third.ok()) << third.error;
+  // Per-run isolation: the third run reports its own kernel work, not the
+  // first run's plus its own.
+  EXPECT_EQ(third.stats.lp_pivots, first.stats.lp_pivots);
+  EXPECT_EQ(third.stats.mip_nodes, first.stats.mip_nodes);
+}
+
+TEST(StatsReuseGuard, ExecutionStatsResetClearsEverything) {
+  sim::ExecutionStats s;
+  s.tasks_executed = 3;
+  s.remote_bytes = 1.0;
+  s.warm_hit_bytes = 2.0;
+  s.lp_pivots = 7;
+  s.reset();
+  EXPECT_EQ(s.tasks_executed, 0u);
+  EXPECT_EQ(s.remote_bytes, 0.0);
+  EXPECT_EQ(s.warm_hit_bytes, 0.0);
+  EXPECT_EQ(s.lp_pivots, 0);
+}
+
+}  // namespace
+}  // namespace bsio
