@@ -62,7 +62,10 @@ sched::BatchRunResult run_batch_scheduler(Algorithm algorithm,
                                           const sim::ClusterConfig& cluster,
                                           const RunOptions& options) {
   auto scheduler = make_scheduler(algorithm, options);
-  return sched::run_batch(*scheduler, workload, cluster, options.faults);
+  sched::BatchRunOptions run_options;
+  run_options.faults = options.faults;
+  run_options.speculation = options.speculation;
+  return sched::run_batch(*scheduler, workload, cluster, run_options);
 }
 
 }  // namespace bsio::core

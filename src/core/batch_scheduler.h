@@ -52,6 +52,9 @@ struct RunOptions {
   // faults the driver re-schedules crash-orphaned tasks on surviving nodes
   // and BatchRunResult::error reports unrecoverable runs.
   sim::FaultConfig faults;
+  // Speculative task replication (sim/faults.h, DESIGN.md §10); disabled by
+  // default, in which case runs are bit-identical to the retry-only driver.
+  sim::SpeculationConfig speculation;
 };
 
 // Instantiates the scheduler implementing `algorithm`.

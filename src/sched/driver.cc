@@ -35,6 +35,11 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
     result.tasks_stranded = workload.num_tasks();
     return result;
   }
+  if (const Status v = options.speculation.validate(); !v.ok()) {
+    result.error = v.error().message;
+    result.tasks_stranded = workload.num_tasks();
+    return result;
+  }
   // Stats-reuse guard: a scheduler instance still loaded with a previous
   // run's counters must be reset before serving another batch.
   if (const Status v = scheduler.begin_batch(); !v.ok()) {
@@ -68,9 +73,9 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
     }
   }
 
-  sim::ExecutionEngine engine(
-      cluster, workload,
-      {scheduler.eviction_policy(), /*trace=*/false, options.faults});
+  sim::ExecutionEngine engine(cluster, workload,
+                              {scheduler.eviction_policy(), /*trace=*/false,
+                               options.faults, options.speculation});
   if (options.initial_cache != nullptr) {
     if (const Status v = engine.seed_cache(*options.initial_cache); !v.ok()) {
       result.error = v.error().message;
@@ -130,6 +135,14 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                        << engine.alive_count() << " nodes alive)";
       pending.insert(pending.end(), orphaned.begin(), orphaned.end());
     }
+    if (executed.value().speculative_launches > 0) {
+      BSIO_LOG(kDebug) << scheduler.name() << ": sub-batch launched "
+                       << executed.value().speculative_launches
+                       << " speculative duplicates ("
+                       << executed.value().speculative_wins << " won, "
+                       << executed.value().wasted_seconds
+                       << "s of duplicate work cancelled)";
+    }
     BSIO_LOG(kDebug) << scheduler.name() << ": sub-batch " << result.sub_batches
                      << " executed " << plan.tasks.size() << " tasks, "
                      << pending.size() << " pending, makespan "
@@ -138,6 +151,9 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
 
   result.batch_time = engine.makespan();
   result.stats = engine.totals();
+  result.task_completion_times = engine.completed_task_times();
+  std::sort(result.task_completion_times.begin(),
+            result.task_completion_times.end());
   if (options.capture_final_cache)
     result.final_cache = sim::InitialCacheState::capture(engine.state());
   // Fold in the scheduler's solver counters (non-zero for IP only).

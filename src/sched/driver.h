@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "sched/scheduler.h"
 #include "sim/cluster.h"
@@ -25,6 +26,10 @@ namespace bsio::sched {
 // caches across batches.
 struct BatchRunOptions {
   sim::FaultConfig faults;
+  // Speculative task replication inside the engine's recovery surface
+  // (sim/faults.h, DESIGN.md §10). Off by default: the run is bit-identical
+  // to the non-speculative driver.
+  sim::SpeculationConfig speculation;
   // Warm start: cache contents present before the first sub-batch (seeded
   // into the engine via ExecutionEngine::seed_cache). Null = cold run. The
   // pointee must outlive the call.
@@ -52,6 +57,9 @@ struct BatchRunResult {
   // was set): what the batch left on the compute disks, sorted by
   // (node, file).
   sim::InitialCacheState final_cache;
+  // Completion instant of every executed task, ascending — the raw series
+  // behind tail-latency percentiles (p50/p95/p99 of task response).
+  std::vector<double> task_completion_times;
   bool ok() const { return error.empty(); }
 };
 

@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/check.h"
@@ -51,6 +52,16 @@ Result<ServiceResult> ServiceLoop::run(std::vector<BatchArrival> arrivals) {
     const sim::InitialCacheState seed = catalog_.seed_for_next();
     sched::BatchRunOptions run_options;
     run_options.faults = options_.faults;
+    run_options.speculation = options_.speculation;
+    if (run_options.speculation.enabled) {
+      // Bound the online path: a batch may duplicate at most
+      // ceil(fraction × tasks), whatever the engine-level cap says.
+      const double frac = std::max(0.0, options_.speculation_budget_fraction);
+      const auto budget = static_cast<std::size_t>(std::ceil(
+          frac * static_cast<double>(q.arrival.batch.num_tasks())));
+      run_options.speculation.max_speculative_tasks =
+          std::min(run_options.speculation.max_speculative_tasks, budget);
+    }
     run_options.capture_final_cache = true;
     if (options_.warm_start && !seed.empty())
       run_options.initial_cache = &seed;
@@ -88,6 +99,9 @@ Result<ServiceResult> ServiceLoop::run(std::vector<BatchArrival> arrivals) {
     result.stats.total_makespan += m.makespan;
     result.stats.cross_batch_hit_bytes += m.cross_batch_hit_bytes;
     result.stats.remote_bytes += m.remote_bytes;
+    result.stats.speculative_launches += r.stats.speculative_launches;
+    result.stats.speculative_wins += r.stats.speculative_wins;
+    result.stats.wasted_seconds += r.stats.wasted_seconds;
     ++result.stats.batches_served;
     result.batches.push_back(std::move(m));
   }

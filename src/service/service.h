@@ -35,6 +35,13 @@ struct ServiceOptions {
   // engine starts empty.
   bool warm_start = true;
   sim::FaultConfig faults;
+  // Speculative task replication per batch (sim/faults.h, DESIGN.md §10).
+  sim::SpeculationConfig speculation;
+  // Per-batch speculation budget for the online path: each batch may
+  // duplicate at most ceil(fraction × batch tasks) tasks (further clamped
+  // by speculation.max_speculative_tasks), so one straggling batch cannot
+  // burn unbounded duplicate work while later arrivals queue.
+  double speculation_budget_fraction = 0.25;
 };
 
 // One batch's service record.
@@ -69,6 +76,10 @@ struct ServiceStats {
   double remote_bytes = 0.0;
   double carried_bytes_final = 0.0;   // snapshot bytes after the last fold
   double evicted_bytes = 0.0;         // inter-batch eviction total
+  // Speculation aggregates over all served batches (zero when disabled).
+  std::size_t speculative_launches = 0;
+  std::size_t speculative_wins = 0;
+  double wasted_seconds = 0.0;        // cancelled duplicates' burnt time
 };
 
 struct ServiceResult {

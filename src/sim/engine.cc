@@ -30,6 +30,11 @@ void ExecutionStats::accumulate(const ExecutionStats& o) {
   node_crashes += o.node_crashes;
   lost_replica_bytes += o.lost_replica_bytes;
   recovery_seconds += o.recovery_seconds;
+  speculative_launches += o.speculative_launches;
+  speculative_wins += o.speculative_wins;
+  speculative_cancels += o.speculative_cancels;
+  wasted_seconds += o.wasted_seconds;
+  wasted_bytes += o.wasted_bytes;
   lp_factorizations += o.lp_factorizations;
   if (o.lp_factor_fill_nnz > lp_factor_fill_nnz)
     lp_factor_fill_nnz = o.lp_factor_fill_nnz;
@@ -63,10 +68,16 @@ ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
       executed_(workload.num_tasks(), false),
       was_evicted_(workload.num_files(), false),
       seeded_(workload.num_files(), false),
+      completion_time_(workload.num_tasks(), 0.0),
       faults_(options.faults, cluster.num_compute_nodes,
               cluster.num_storage_nodes),
-      alive_(cluster.num_compute_nodes, 1) {
+      alive_(cluster.num_compute_nodes, 1),
+      spec_remaining_(options.speculation.enabled
+                          ? options.speculation.max_speculative_tasks
+                          : 0) {
   if (const Status v = options.faults.validate(cluster); !v.ok())
+    BSIO_CHECK_MSG(false, v.error().message.c_str());
+  if (const Status v = options.speculation.validate(); !v.ok())
     BSIO_CHECK_MSG(false, v.error().message.c_str());
   for (const auto& f : workload.files())
     BSIO_CHECK_MSG(
@@ -221,8 +232,14 @@ double ExecutionEngine::estimate_ect(wl::TaskId task, wl::NodeId node) const {
     }
     cursor = best;
   }
-  return cursor + read_bytes / cluster_.local_disk_bw +
-         info.compute_seconds / topo_.cpu_speed(node);
+  if (!faults_.has_slowdowns())
+    return cursor + read_bytes / cluster_.local_disk_bw +
+           info.compute_seconds / topo_.cpu_speed(node);
+  // Degraded-node awareness: stretch the exec block by the node's slowdown
+  // windows so the speculation trigger sees stragglers the planners cannot.
+  const double nominal = read_bytes / cluster_.local_disk_bw +
+                         info.compute_seconds / topo_.cpu_speed(node);
+  return cursor + faults_.stretched_exec_duration(node, cursor, nominal);
 }
 
 void ExecutionEngine::evict_for(wl::NodeId node, double need,
@@ -243,7 +260,15 @@ void ExecutionEngine::evict_for(wl::NodeId node, double need,
   }
 }
 
-ExecutionEngine::TransferChoice ExecutionEngine::commit_transfer(
+void ExecutionEngine::reserve_tl(Timeline& tl, double start, double duration) {
+  tl.reserve(start, duration);
+  // Timeline::reserve drops non-positive durations, so only real intervals
+  // are logged for rollback.
+  if (record_ != nullptr && duration > 0.0)
+    record_->reservations.push_back({&tl, {start, start + duration}});
+}
+
+Result<ExecutionEngine::TransferChoice> ExecutionEngine::commit_transfer(
     const SubBatchPlan& plan, wl::TaskId task, wl::FileId file, wl::NodeId dst,
     double after, bool touch_replica_source, ExecutionStats& stats) {
   const double size = workload_.file_size(file);
@@ -251,12 +276,12 @@ ExecutionEngine::TransferChoice ExecutionEngine::commit_transfer(
   for (std::size_t attempt = 0;; ++attempt) {
     TransferChoice c = best_transfer(plan, file, dst, after);
     if (c.remote)
-      storage_tl_[c.src].reserve(c.start, c.duration);
+      reserve_tl(storage_tl_[c.src], c.start, c.duration);
     else
-      compute_tl_[c.src].reserve(c.start, c.duration);
+      reserve_tl(compute_tl_[c.src], c.start, c.duration);
     for (std::uint32_t l = 0; l < c.path.num_links; ++l)
-      link_tl_[c.path.links[l]].reserve(c.start, c.duration);
-    compute_tl_[dst].reserve(c.start, c.duration);
+      reserve_tl(link_tl_[c.path.links[l]], c.start, c.duration);
+    reserve_tl(compute_tl_[dst], c.start, c.duration);
 
     if (!faults_.transfer_attempt_fails(seq, attempt)) {
       if (c.remote) {
@@ -278,12 +303,20 @@ ExecutionEngine::TransferChoice ExecutionEngine::commit_transfer(
 
     // Transient failure: the attempt held its links for the full window;
     // back off exponentially, then retry against the then-best source.
-    const double backoff = faults_.backoff_after(attempt);
     ++stats.transfer_retries;
-    stats.recovery_seconds += c.duration + backoff;
     if (options_.trace)
       trace_.push_back({TraceEvent::Kind::kFailedTransfer, task, file, c.src,
                         dst, c.start, c.completion()});
+    if (attempt + 1 >= faults_.config().max_transfer_attempts) {
+      // Only reachable with give_up_after_max_attempts (otherwise the last
+      // attempt never fails): surface a typed error instead of spinning.
+      stats.recovery_seconds += c.duration;
+      return Err("transfer of file " + std::to_string(file) +
+                 " onto compute node " + std::to_string(dst) + " failed " +
+                 std::to_string(attempt + 1) + " attempts; giving up");
+    }
+    const double backoff = faults_.backoff_after(attempt);
+    stats.recovery_seconds += c.duration + backoff;
     after = c.completion() + backoff;
   }
 }
@@ -295,8 +328,9 @@ void ExecutionEngine::apply_crash(wl::NodeId node, ExecutionStats& stats) {
   ++stats.node_crashes;
 }
 
-bool ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
-                                  wl::NodeId node, ExecutionStats& stats) {
+Result<bool> ExecutionEngine::commit_task(const SubBatchPlan& plan,
+                                          wl::TaskId task, wl::NodeId node,
+                                          ExecutionStats& stats) {
   const auto& info = workload_.task(task);
   const std::vector<wl::FileId>& pinned = info.files;
 
@@ -336,53 +370,256 @@ bool ExecutionEngine::commit_task(const SubBatchPlan& plan, wl::TaskId task,
     // reference ends at or before the horizon).
     evict_for(node, size - state_.free_bytes(node), pinned, stats);
 
-    TransferChoice done = commit_transfer(plan, task, file, node, after,
-                                          /*touch_replica_source=*/true,
-                                          stats);
+    Result<TransferChoice> staged = commit_transfer(
+        plan, task, file, node, after, /*touch_replica_source=*/true, stats);
+    if (!staged.ok()) return staged.error();
+    const TransferChoice& done = staged.value();
     state_.add(node, file, size, done.completion());
+    if (record_ != nullptr)
+      record_->staged.push_back({file, size, done.start, done.completion(),
+                                 done.remote,
+                                 static_cast<bool>(was_evicted_[file])});
     last_end = std::max(last_end, done.completion());
     remaining.erase(remaining.begin() + best_i);
   }
 
   // Local read + computation, serialized on the node after the last input
   // file arrives.
-  const double exec_dur =
-      topo_.exec_seconds(read_bytes, info.compute_seconds, node);
-  const double start = compute_tl_[node].earliest_free(last_end, exec_dur);
+  double exec_dur = topo_.exec_seconds(read_bytes, info.compute_seconds, node);
+  double start = compute_tl_[node].earliest_free(last_end, exec_dur);
+  if (faults_.has_slowdowns()) {
+    // A degraded node stretches the block, a longer block may need a later
+    // gap, and a later start may change the stretch again — iterate to a
+    // fixed point. Exec blocks land at or after the node horizon in
+    // practice, where earliest_free is duration-independent, so this
+    // settles in one or two rounds; the bound is a safety net.
+    const double nominal = exec_dur;
+    for (int round = 0; round < 64; ++round) {
+      const double stretched =
+          faults_.stretched_exec_duration(node, start, nominal);
+      const double restart = compute_tl_[node].earliest_free(last_end,
+                                                             stretched);
+      if (restart == start && stretched == exec_dur) break;
+      exec_dur = stretched;
+      start = restart;
+    }
+  }
   const double completion = start + exec_dur;
 
   const double crash_t = faults_.crash_time(node);
   if (completion > crash_t) {
     // Fail-stop: the node dies before this task finishes. Charge whatever
-    // partial execution happened, orphan the task for re-scheduling, and
-    // lose the node's cache. Earlier transfer reservations stand — they
-    // were in flight when the failure was detected.
+    // partial execution happened and lose the node's cache; the caller
+    // orphans the task. Earlier transfer reservations stand — they were in
+    // flight when the failure was detected.
     if (start < crash_t) {
-      compute_tl_[node].reserve(start, crash_t - start);
+      reserve_tl(compute_tl_[node], start, crash_t - start);
       stats.recovery_seconds += crash_t - start;
       if (options_.trace)
         trace_.push_back({TraceEvent::Kind::kExec, task, wl::kInvalidFile,
                           wl::kInvalidNode, node, start, crash_t});
     }
-    ++stats.task_reexecutions;
-    orphaned_.push_back(task);
     apply_crash(node, stats);
+    if (record_ != nullptr) {
+      record_->crashed = true;
+      record_->completion = crash_t;
+    }
     return false;
   }
 
-  compute_tl_[node].reserve(start, exec_dur);
+  reserve_tl(compute_tl_[node], start, exec_dur);
   if (options_.trace)
     trace_.push_back({TraceEvent::Kind::kExec, task, wl::kInvalidFile,
                       wl::kInvalidNode, node, start, completion});
 
-  for (wl::FileId f : info.files) {
+  if (record_ != nullptr) {
+    // Recorded speculative attempt: the winner is finalized by the
+    // resolver, not here.
+    record_->completed = true;
+    record_->completion = completion;
+    return true;
+  }
+  finalize_task(task, node, completion, stats);
+  return true;
+}
+
+void ExecutionEngine::finalize_task(wl::TaskId task, wl::NodeId node,
+                                    double completion, ExecutionStats& stats) {
+  for (wl::FileId f : workload_.task(task).files) {
     state_.touch(node, f, completion);
     pending_requests_[f] -= 1.0;
   }
   executed_[task] = true;
+  completion_time_[task] = completion;
   ++stats.tasks_executed;
   makespan_ = std::max(makespan_, completion);
+}
+
+wl::NodeId ExecutionEngine::find_speculation_target(wl::TaskId task,
+                                                    wl::NodeId primary) const {
+  const SpeculationConfig& spec = options_.speculation;
+  const auto& info = workload_.task(task);
+  wl::NodeId best = wl::kInvalidNode;
+  double best_est = kInfTime;
+  for (wl::NodeId j = 0; j < cluster_.num_compute_nodes; ++j) {
+    if (j == primary || !alive_[j]) continue;
+    std::size_t cached = 0;
+    for (wl::FileId f : info.files) cached += state_.has(j, f) ? 1 : 0;
+    if (cached < spec.min_cached_inputs) continue;
+    const double est = estimate_ect(task, j);
+    // Strict < keeps the lowest node id on ties.
+    if (est < best_est) {
+      best_est = est;
+      best = j;
+    }
+  }
+  if (best == wl::kInvalidNode) return wl::kInvalidNode;
+  const double est_primary = estimate_ect(task, primary);
+  // Relative-progress trigger AND absolute-gain floor, both required.
+  if (!(est_primary > spec.straggler_ratio * best_est)) return wl::kInvalidNode;
+  if (!(est_primary - best_est >= spec.min_ect_gain_seconds))
+    return wl::kInvalidNode;
+  return best;
+}
+
+Result<bool> ExecutionEngine::speculative_commit(const SubBatchPlan& plan,
+                                                 wl::TaskId task,
+                                                 wl::NodeId primary,
+                                                 wl::NodeId backup,
+                                                 ExecutionStats& stats) {
+  BSIO_CHECK(record_ == nullptr);
+  --spec_remaining_;
+  ++stats.speculative_launches;
+  if (options_.trace) {
+    const double h = compute_tl_[backup].horizon();
+    trace_.push_back({TraceEvent::Kind::kSpeculativeLaunch, task,
+                      wl::kInvalidFile, primary, backup, h, h});
+  }
+
+  // Both attempts are committed in sequence but their simulated windows
+  // overlap: they reserve on the same shared timelines, so contention
+  // between the duplicate's staging and everything else is priced.
+  AttemptRecord prim, back;
+  prim.node = primary;
+  back.node = backup;
+
+  prim.trace_begin = trace_.size();
+  record_ = &prim;
+  Result<bool> first = commit_task(plan, task, primary, prim.delta);
+  record_ = nullptr;
+  prim.trace_end = trace_.size();
+  if (!first.ok()) {
+    stats.accumulate(prim.delta);
+    return first.error();
+  }
+
+  back.trace_begin = trace_.size();
+  record_ = &back;
+  Result<bool> second = commit_task(plan, task, backup, back.delta);
+  record_ = nullptr;
+  back.trace_end = trace_.size();
+  if (!second.ok()) {
+    stats.accumulate(prim.delta);
+    stats.accumulate(back.delta);
+    return second.error();
+  }
+
+  // First finish wins; an exact tie keeps the primary.
+  AttemptRecord* winner = nullptr;
+  if (prim.completed && back.completed)
+    winner = back.completion < prim.completion ? &back : &prim;
+  else if (prim.completed)
+    winner = &prim;
+  else if (back.completed)
+    winner = &back;
+
+  if (winner == nullptr) {
+    // Both attempts died to node crashes: charge both in full, orphan the
+    // task once for the driver's recovery loop.
+    stats.accumulate(prim.delta);
+    stats.accumulate(back.delta);
+    ++stats.task_reexecutions;
+    orphaned_.push_back(task);
+    return false;
+  }
+
+  AttemptRecord* loser = winner == &prim ? &back : &prim;
+  finalize_task(task, winner->node, winner->completion, stats);
+  stats.accumulate(winner->delta);
+  if (winner == &back) ++stats.speculative_wins;
+
+  if (loser->crashed) {
+    // The losing node really died mid-attempt: its partial work and cache
+    // loss already happened, so the delta is charged in full — nothing to
+    // roll back.
+    stats.accumulate(loser->delta);
+  } else {
+    cancel_attempt(task, winner->node, *loser, winner->completion, stats);
+  }
   return true;
+}
+
+void ExecutionEngine::cancel_attempt(wl::TaskId task, wl::NodeId winner_node,
+                                     AttemptRecord& rec, double winner_end,
+                                     ExecutionStats& stats) {
+  ++stats.speculative_cancels;
+
+  // Staged files that only became usable after the cancellation instant
+  // never existed as replicas: drop them from the cache and back their
+  // transfer out of the counters, charging the pro-rated in-flight bytes
+  // as waste. Files that arrived before `winner_end` stay — the copy
+  // completed, the node legitimately holds a replica. Evictions performed
+  // for the attempt are NOT restored (deleted bytes cannot be un-deleted),
+  // and neither are replica-source touches (the partial read happened).
+  ExecutionStats delta = rec.delta;
+  for (const AttemptRecord::Staged& s : rec.staged) {
+    if (s.avail <= winner_end) continue;
+    if (s.remote) {
+      --delta.remote_transfers;
+      delta.remote_bytes -= s.size;
+    } else {
+      --delta.replications;
+      delta.replica_bytes -= s.size;
+    }
+    if (s.restaged) --delta.restages;
+    if (s.start < winner_end)
+      stats.wasted_bytes +=
+          s.size * (winner_end - s.start) / (s.avail - s.start);
+    state_.remove(rec.node, s.file, s.size);
+  }
+  stats.accumulate(delta);
+
+  // Reservation rollback: hand back everything that had not started at the
+  // cut, truncate what was in flight. Elapsed occupancy of the losing
+  // node's own timeline is the duplicate's burnt compute/port time.
+  for (auto& [tl, iv] : rec.reservations) {
+    const bool loser_compute = tl == &compute_tl_[rec.node];
+    if (iv.start >= winner_end) {
+      tl->release(iv.start, iv.end);
+    } else if (iv.end > winner_end) {
+      tl->truncate(iv.start, winner_end);
+      if (loser_compute) stats.wasted_seconds += winner_end - iv.start;
+    } else if (loser_compute) {
+      stats.wasted_seconds += iv.end - iv.start;
+    }
+  }
+
+  if (options_.trace) {
+    // Rewrite the loser's trace range the same way: events that never
+    // started vanish, in-flight ones are cut at the cancellation instant.
+    std::size_t w = rec.trace_begin;
+    for (std::size_t i = rec.trace_begin; i < rec.trace_end; ++i) {
+      TraceEvent e = trace_[i];
+      if (e.start >= winner_end) continue;
+      if (e.end > winner_end) e.end = winner_end;
+      trace_[w++] = e;
+    }
+    trace_.erase(trace_.begin() + static_cast<std::ptrdiff_t>(w),
+                 trace_.begin() + static_cast<std::ptrdiff_t>(rec.trace_end));
+    trace_.push_back({TraceEvent::Kind::kSpeculativeCancel, task,
+                      wl::kInvalidFile, winner_node, rec.node, winner_end,
+                      rec.completion});
+  }
 }
 
 Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
@@ -427,10 +664,14 @@ Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
     const double size = workload_.file_size(file);
     const double after = compute_tl_[dst].horizon();
     evict_for(dst, size - state_.free_bytes(dst), {file}, stats);
-    TransferChoice c = commit_transfer(plan, wl::kInvalidTask, file, dst,
-                                       after, /*touch_replica_source=*/false,
-                                       stats);
-    state_.add(dst, file, size, c.completion());
+    Result<TransferChoice> c = commit_transfer(
+        plan, wl::kInvalidTask, file, dst, after,
+        /*touch_replica_source=*/false, stats);
+    if (!c.ok()) {
+      totals_.accumulate(stats);
+      return c.error();
+    }
+    state_.add(dst, file, size, c.value().completion());
   }
 
   std::vector<std::vector<wl::TaskId>> groups(cluster_.num_compute_nodes);
@@ -465,12 +706,41 @@ Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
     wl::TaskId task = group[best_i];
     group.erase(group.begin() + best_i);
     --left;
-    if (!commit_task(plan, task, node, stats)) {
-      // The node crashed killing `task`; its queued siblings are orphaned
-      // for the driver's re-scheduling loop.
-      for (wl::TaskId t : group) orphaned_.push_back(t);
-      left -= group.size();
-      group.clear();
+
+    // Straggler check: duplicate the task onto a cached backup when the
+    // assigned node's estimate lags far enough and budget remains.
+    wl::NodeId backup = wl::kInvalidNode;
+    if (options_.speculation.enabled && spec_remaining_ > 0)
+      backup = find_speculation_target(task, node);
+
+    if (backup == wl::kInvalidNode) {
+      Result<bool> done = commit_task(plan, task, node, stats);
+      if (!done.ok()) {
+        totals_.accumulate(stats);
+        return done.error();
+      }
+      if (!done.value()) {
+        // The node crashed killing `task`: orphan it for the driver's
+        // re-scheduling loop.
+        ++stats.task_reexecutions;
+        orphaned_.push_back(task);
+      }
+    } else {
+      Result<bool> done = speculative_commit(plan, task, node, backup, stats);
+      if (!done.ok()) {
+        totals_.accumulate(stats);
+        return done.error();
+      }
+      // On a double crash speculative_commit already orphaned the task.
+    }
+
+    // Queued siblings of any node that died during this commit are
+    // orphaned too.
+    for (wl::NodeId n : {node, backup}) {
+      if (n == wl::kInvalidNode || alive_[n]) continue;
+      for (wl::TaskId t : groups[n]) orphaned_.push_back(t);
+      left -= groups[n].size();
+      groups[n].clear();
     }
   }
 
@@ -514,6 +784,12 @@ std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
       case TraceEvent::Kind::kExec:
         kind = "exec";
         break;
+      case TraceEvent::Kind::kSpeculativeLaunch:
+        kind = "spec_launch";
+        break;
+      case TraceEvent::Kind::kSpeculativeCancel:
+        kind = "spec_cancel";
+        break;
     }
     auto id = [](auto v) {
       return v == static_cast<decltype(v)>(-1) ? -1L : static_cast<long>(v);
@@ -523,6 +799,13 @@ std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
                   e.end);
     out += buf;
   }
+  return out;
+}
+
+std::vector<double> ExecutionEngine::completed_task_times() const {
+  std::vector<double> out;
+  for (wl::TaskId t = 0; t < workload_.num_tasks(); ++t)
+    if (executed_[t]) out.push_back(completion_time_[t]);
   return out;
 }
 

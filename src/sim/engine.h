@@ -24,9 +24,16 @@
 //    charged on the timelines), compute-node fail-stop crashes (cache lost,
 //    unfinished tasks orphaned for re-scheduling) and storage outage
 //    windows (pre-reserved on the storage port, degrading staging to
-//    replica-only sourcing until the window ends).
+//    replica-only sourcing until the window ends);
+//  - an optional SpeculationConfig arms a straggler detector: a task whose
+//    assigned node's ECT estimate lags the best cached-input alternative
+//    past the configured thresholds runs as two recorded attempts,
+//    first-finish-wins — the loser's not-yet-elapsed Timeline reservations
+//    and disk holds are rolled back and its burnt time is charged as
+//    wasted work (DESIGN.md §10).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "sim/cluster.h"
@@ -48,14 +55,29 @@ struct EngineOptions {
   // Fault injection (see sim/faults.h). The default injects nothing and
   // leaves every simulation bit-identical to the fault-free engine.
   FaultConfig faults;
+  // Speculative task replication (see sim/faults.h and DESIGN.md §10).
+  // Disabled by default; when disabled the engine is bit-identical to the
+  // non-speculative engine.
+  SpeculationConfig speculation;
 };
 
 // One row of the execution trace: a remote transfer, a replication, a
 // failed transfer attempt, or a task's local-read + compute block, with its
 // Gantt placement. An exec block cut short by a node crash is recorded with
-// end = crash time.
+// end = crash time. kSpeculativeLaunch marks a duplicate attempt being
+// opened (src = primary node, dst = backup node, start = end = the backup's
+// horizon at launch); kSpeculativeCancel marks the losing attempt being cut
+// (src = winning node, dst = losing node, start = cancellation instant,
+// end = the loser's would-have-been completion).
 struct TraceEvent {
-  enum class Kind { kRemoteTransfer, kReplication, kExec, kFailedTransfer };
+  enum class Kind {
+    kRemoteTransfer,
+    kReplication,
+    kExec,
+    kFailedTransfer,
+    kSpeculativeLaunch,
+    kSpeculativeCancel
+  };
   Kind kind = Kind::kExec;
   wl::TaskId task = wl::kInvalidTask;  // kExec, or the task whose commit
                                        // triggered the transfer
@@ -92,6 +114,16 @@ struct ExecutionStats {
   // Simulated seconds lost to recovery: failed-attempt windows, retry
   // backoffs, and the partial execution of crash-killed tasks.
   double recovery_seconds = 0.0;
+
+  // Speculation counters (all zero with speculation disabled).
+  std::size_t speculative_launches = 0;  // duplicate attempts opened
+  std::size_t speculative_wins = 0;      // duplicates that beat the primary
+  std::size_t speculative_cancels = 0;   // losing attempts cancelled
+  // Wasted work charged to cancelled attempts: compute-timeline seconds the
+  // losing node spent before the first-finish-wins cut, and the pro-rated
+  // bytes of its in-flight transfers at that instant.
+  double wasted_seconds = 0.0;
+  double wasted_bytes = 0.0;
 
   // Solver observability (filled by the batch driver for IP-backed
   // schedulers; zero for the heuristics). Mirrors lp::SolverStats plus the
@@ -153,6 +185,10 @@ class ExecutionEngine {
   // Per-compute-node busy time (utilisation diagnostics).
   std::vector<double> compute_busy_times() const;
 
+  // Completion instants of every task executed so far (unsorted; one entry
+  // per executed task). Drivers aggregate these into tail percentiles.
+  std::vector<double> completed_task_times() const;
+
   // --- Failure recovery surface. ---
   const FaultModel& faults() const { return faults_; }
   bool node_alive(wl::NodeId node) const { return alive_[node] != 0; }
@@ -183,29 +219,88 @@ class ExecutionEngine {
     double completion() const { return start + duration; }
   };
 
+  // Transactional log of one task attempt, kept only while speculation
+  // duplicates a task: every Timeline reservation, every staged file, and
+  // the attempt's private stats delta, so a losing attempt can be rolled
+  // back at the first-finish-wins instant (DESIGN.md §10).
+  struct AttemptRecord {
+    struct Staged {
+      wl::FileId file = wl::kInvalidFile;
+      double size = 0.0;
+      double start = 0.0;  // transfer start
+      double avail = 0.0;  // transfer completion (file usable from here)
+      bool remote = true;
+      bool restaged = false;  // counted as a restage when committed
+    };
+    wl::NodeId node = wl::kInvalidNode;
+    bool completed = false;
+    bool crashed = false;
+    double completion = 0.0;
+    std::vector<std::pair<Timeline*, Interval>> reservations;
+    std::vector<Staged> staged;
+    ExecutionStats delta;
+    std::size_t trace_begin = 0;  // half-open range of this attempt's
+    std::size_t trace_end = 0;    // events in trace_
+  };
+
   // Best transfer for staging `file` onto `dst` no earlier than `after`,
   // honouring a fixed staging directive if the plan carries one.
   TransferChoice best_transfer(const SubBatchPlan& plan, wl::FileId file,
                                wl::NodeId dst, double after) const;
 
-  // Cheap ECT estimate used only to rank a node's pending tasks.
+  // Cheap ECT estimate used only to rank a node's pending tasks (and, with
+  // speculation on, to compare the assigned node against cached backups).
   double estimate_ect(wl::TaskId task, wl::NodeId node) const;
+
+  // Reserves [start, start + duration) on `tl`, logging the interval into
+  // the active AttemptRecord when one is recording.
+  void reserve_tl(Timeline& tl, double start, double duration);
 
   // Commits the staging of `file` onto `dst` starting no earlier than
   // `after`, injecting transient failures: each failed attempt reserves its
   // links for the full window, and the retry waits an exponential backoff
-  // before re-picking the then-best source. Returns the successful choice.
-  TransferChoice commit_transfer(const SubBatchPlan& plan, wl::TaskId task,
-                                 wl::FileId file, wl::NodeId dst, double after,
-                                 bool touch_replica_source,
-                                 ExecutionStats& stats);
+  // before re-picking the then-best source. Returns the successful choice,
+  // or a typed error when give_up_after_max_attempts exhausts the budget.
+  Result<TransferChoice> commit_transfer(const SubBatchPlan& plan,
+                                         wl::TaskId task, wl::FileId file,
+                                         wl::NodeId dst, double after,
+                                         bool touch_replica_source,
+                                         ExecutionStats& stats);
 
   // Commits `task` on `node`: stages missing files (minimum-TCT-first),
   // evicting on demand, then reserves the local-read + compute block.
-  // Returns false when an injected crash killed the task (the node is dead
-  // and the task was orphaned).
-  bool commit_task(const SubBatchPlan& plan, wl::TaskId task, wl::NodeId node,
-                   ExecutionStats& stats);
+  // Returns false when an injected crash killed the task (the node is
+  // dead; the caller owns orphaning). While an AttemptRecord is active the
+  // task is NOT finalized — the speculation resolver picks the winner.
+  Result<bool> commit_task(const SubBatchPlan& plan, wl::TaskId task,
+                           wl::NodeId node, ExecutionStats& stats);
+
+  // Marks `task` done at `completion` on `node`: touches its files, drops
+  // pending requests, stamps the completion time and the makespan.
+  void finalize_task(wl::TaskId task, wl::NodeId node, double completion,
+                     ExecutionStats& stats);
+
+  // Straggler trigger: the alive node (≠ primary) caching at least
+  // min_cached_inputs of the task's files with the best ECT estimate, if
+  // the primary's estimate lags it past both configured thresholds;
+  // kInvalidNode otherwise.
+  wl::NodeId find_speculation_target(wl::TaskId task, wl::NodeId primary) const;
+
+  // Runs `task` as two recorded attempts (primary then backup in commit
+  // order; their simulated windows overlap through the shared timelines),
+  // keeps the first finisher and cancels or charges the loser. Returns
+  // false when both attempts died to crashes (the task was orphaned).
+  Result<bool> speculative_commit(const SubBatchPlan& plan, wl::TaskId task,
+                                  wl::NodeId primary, wl::NodeId backup,
+                                  ExecutionStats& stats);
+
+  // First-finish-wins rollback of a completed losing attempt: releases its
+  // not-yet-started reservations, truncates in-flight ones at `winner_end`,
+  // removes never-usable staged files, adjusts counters, and charges
+  // wasted_seconds / wasted_bytes.
+  void cancel_attempt(wl::TaskId task, wl::NodeId winner_node,
+                      AttemptRecord& rec, double winner_end,
+                      ExecutionStats& stats);
 
   // Fail-stops `node`: drops its cached replicas and marks it dead.
   void apply_crash(wl::NodeId node, ExecutionStats& stats);
@@ -236,11 +331,17 @@ class ExecutionEngine {
   double makespan_ = 0.0;
   ExecutionStats totals_;
   std::vector<TraceEvent> trace_;
+  std::vector<double> completion_time_;  // per task; valid iff executed_
 
   FaultModel faults_;
   std::vector<char> alive_;            // per compute node, 1 = alive
   std::uint64_t transfer_seq_ = 0;     // logical transfer counter
   std::vector<wl::TaskId> orphaned_;   // crash-killed / never-started tasks
+
+  // Speculation state: remaining duplicate-launch budget, and the attempt
+  // being recorded (null outside speculative_commit).
+  std::size_t spec_remaining_ = 0;
+  AttemptRecord* record_ = nullptr;
 };
 
 // Renders a trace as CSV (kind,task,file,src,dst,start,end), sorted by

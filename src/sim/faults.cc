@@ -17,6 +17,8 @@ Status FaultConfig::validate(const ClusterConfig& cluster) const {
     return Err("FaultConfig: retry_backoff_seconds must be finite and >= 0");
   if (!(retry_backoff_factor >= 1.0) || !std::isfinite(retry_backoff_factor))
     return Err("FaultConfig: retry_backoff_factor must be finite and >= 1");
+  if (!(max_backoff_seconds > 0.0) || !std::isfinite(max_backoff_seconds))
+    return Err("FaultConfig: max_backoff_seconds must be finite and > 0");
   for (const ComputeCrash& c : compute_crashes) {
     if (c.node >= cluster.num_compute_nodes)
       return Err("FaultConfig: crash names compute node " +
@@ -34,6 +36,38 @@ Status FaultConfig::validate(const ClusterConfig& cluster) const {
       return Err("FaultConfig: outage window must satisfy 0 <= start < end "
                  "< infinity");
   }
+  std::vector<std::vector<NodeSlowdown>> per_node(cluster.num_compute_nodes);
+  for (const NodeSlowdown& s : compute_slowdowns) {
+    if (s.node >= cluster.num_compute_nodes)
+      return Err("FaultConfig: slowdown names compute node " +
+                 std::to_string(s.node) + " but the cluster has only " +
+                 std::to_string(cluster.num_compute_nodes));
+    if (!(s.start >= 0.0) || !(s.end > s.start))
+      return Err("FaultConfig: slowdown window must satisfy 0 <= start < end");
+    if (!(s.factor >= 1.0) || !std::isfinite(s.factor))
+      return Err("FaultConfig: slowdown factor must be finite and >= 1");
+    per_node[s.node].push_back(s);
+  }
+  for (auto& windows : per_node) {
+    std::sort(windows.begin(), windows.end(),
+              [](const NodeSlowdown& a, const NodeSlowdown& b) {
+                return a.start < b.start;
+              });
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+      if (windows[i].start < windows[i - 1].end)
+        return Err("FaultConfig: slowdown windows of compute node " +
+                   std::to_string(windows[i].node) + " overlap");
+    }
+  }
+  return OkStatus();
+}
+
+Status SpeculationConfig::validate() const {
+  if (!(straggler_ratio >= 1.0) || !std::isfinite(straggler_ratio))
+    return Err("SpeculationConfig: straggler_ratio must be finite and >= 1");
+  if (!(min_ect_gain_seconds >= 0.0) || !std::isfinite(min_ect_gain_seconds))
+    return Err(
+        "SpeculationConfig: min_ect_gain_seconds must be finite and >= 0");
   return OkStatus();
 }
 
@@ -42,7 +76,19 @@ FaultModel::FaultModel(FaultConfig config, std::size_t num_compute_nodes,
     : config_(std::move(config)),
       crash_time_(num_compute_nodes,
                   std::numeric_limits<double>::infinity()),
-      outages_(num_storage_nodes) {
+      outages_(num_storage_nodes),
+      slowdowns_(num_compute_nodes) {
+  for (const NodeSlowdown& s : config_.compute_slowdowns) {
+    if (s.factor <= 1.0) continue;  // factor 1 stretches nothing
+    slowdowns_[s.node].push_back(s);
+    has_slowdowns_ = true;
+  }
+  for (auto& windows : slowdowns_) {
+    std::sort(windows.begin(), windows.end(),
+              [](const NodeSlowdown& a, const NodeSlowdown& b) {
+                return a.start < b.start;
+              });
+  }
   for (const ComputeCrash& c : config_.compute_crashes)
     crash_time_[c.node] = std::min(crash_time_[c.node], c.time);
   for (const StorageOutage& o : config_.storage_outages)
@@ -68,7 +114,9 @@ FaultModel::FaultModel(FaultConfig config, std::size_t num_compute_nodes,
 bool FaultModel::transfer_attempt_fails(std::uint64_t transfer_index,
                                         std::size_t attempt) const {
   if (config_.transfer_failure_prob <= 0.0) return false;
-  if (attempt + 1 >= config_.max_transfer_attempts) return false;
+  if (attempt + 1 >= config_.max_transfer_attempts &&
+      !config_.give_up_after_max_attempts)
+    return false;
   if (config_.transfer_failure_prob >= 1.0) return true;
   // Stateless coin: independent of draw order, so a retry never shifts the
   // fault pattern seen by unrelated transfers.
@@ -80,8 +128,37 @@ bool FaultModel::transfer_attempt_fails(std::uint64_t transfer_index,
 }
 
 double FaultModel::backoff_after(std::size_t attempt) const {
-  return config_.retry_backoff_seconds *
-         std::pow(config_.retry_backoff_factor, static_cast<double>(attempt));
+  const double raw =
+      config_.retry_backoff_seconds *
+      std::pow(config_.retry_backoff_factor, static_cast<double>(attempt));
+  return std::min(raw, config_.max_backoff_seconds);
+}
+
+double FaultModel::stretched_exec_duration(wl::NodeId node, double start,
+                                           double nominal) const {
+  if (nominal <= 0.0) return nominal;
+  if (node >= slowdowns_.size() || slowdowns_[node].empty()) return nominal;
+  // Walk the node's sorted windows left to right, spending `remaining`
+  // seconds of work: gaps between windows progress at full speed, a span of
+  // `w` wall seconds inside a factor-f window only completes w/f seconds of
+  // work. Everything past the last window is full speed again.
+  double t = start;
+  double remaining = nominal;
+  for (const NodeSlowdown& w : slowdowns_[node]) {
+    if (w.end <= t) continue;
+    if (w.start > t) {
+      const double gap = w.start - t;
+      if (remaining <= gap) return t + remaining - start;
+      remaining -= gap;
+      t = w.start;
+    }
+    const double span = w.end - t;  // wall time available inside the window
+    const double capacity = span / w.factor;
+    if (remaining <= capacity) return t + remaining * w.factor - start;
+    remaining -= capacity;
+    t = w.end;
+  }
+  return t + remaining - start;
 }
 
 const std::vector<StorageOutage>& FaultModel::outages_of(

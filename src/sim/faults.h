@@ -24,6 +24,11 @@
 //    timeline, so remote transfers either wait the window out or the
 //    engine's dynamic rule degrades to replica-only sourcing.
 //
+//  - Compute-node slowdowns: a degraded-but-alive node executes task
+//    blocks `factor`× slower inside a scheduled window (the progress model
+//    behind straggler detection — planners stay blind to the degradation,
+//    only the engine and its speculation trigger see it).
+//
 // A default-constructed FaultModel injects nothing and draws nothing: with
 // faults disabled, every simulation reproduces the fault-free makespans
 // exactly.
@@ -50,27 +55,75 @@ struct StorageOutage {
   double end = 0.0;  // half-open window [start, end)
 };
 
+// Degraded-but-alive compute node: execution inside [start, end) runs
+// `factor`× slower (factor 1 is a no-op). Windows of one node must not
+// overlap. Transfers are unaffected — only the local-read + compute block
+// stretches, which is what makes the node a straggler rather than dead.
+struct NodeSlowdown {
+  wl::NodeId node = wl::kInvalidNode;
+  double start = 0.0;
+  double end = std::numeric_limits<double>::infinity();  // half-open
+  double factor = 1.0;
+};
+
 struct FaultConfig {
   std::uint64_t seed = 0x5eedULL;
   // Per-attempt probability that a transfer (remote or replication) fails.
   double transfer_failure_prob = 0.0;
-  // Attempts per transfer, counting the first; the last never fails.
+  // Attempts per transfer, counting the first. By default the last attempt
+  // never fails (simulations terminate even at probability 1); with
+  // give_up_after_max_attempts the last attempt draws its coin like any
+  // other and exhausting all attempts surfaces a typed bsio::Error from
+  // ExecutionEngine::execute instead of retrying forever.
   std::size_t max_transfer_attempts = 5;
+  bool give_up_after_max_attempts = false;
   // Backoff after failed attempt k (0-based) is
-  // retry_backoff_seconds * factor^k.
+  // min(retry_backoff_seconds * factor^k, max_backoff_seconds) — the clamp
+  // keeps high attempt counts from pow-overflowing into absurd waits.
   double retry_backoff_seconds = 0.5;
   double retry_backoff_factor = 2.0;
+  double max_backoff_seconds = 60.0;
   std::vector<ComputeCrash> compute_crashes;
   std::vector<StorageOutage> storage_outages;
+  std::vector<NodeSlowdown> compute_slowdowns;
 
   bool enabled() const {
     return transfer_failure_prob > 0.0 || !compute_crashes.empty() ||
-           !storage_outages.empty();
+           !storage_outages.empty() || !compute_slowdowns.empty();
   }
 
   // Recoverable validation against a cluster's shape (node-id ranges,
   // probability bounds, window sanity).
   Status validate(const ClusterConfig& cluster) const;
+};
+
+// Speculative task replication (the engine's straggler mitigation; see
+// DESIGN.md §10). When a task is about to start on a node whose estimated
+// completion lags the best alternative, the engine launches a duplicate
+// attempt on an alive node that already caches the task's inputs and keeps
+// whichever attempt finishes first; the loser is cancelled and its not-yet-
+// elapsed Timeline reservations and disk-space holds are released. Disabled
+// by default: with `enabled == false` every simulation is bit-identical to
+// the non-speculative engine.
+struct SpeculationConfig {
+  bool enabled = false;
+  // Relative-progress trigger: duplicate only when the assigned node's
+  // estimated completion exceeds straggler_ratio × the best cached-input
+  // alternative's estimate.
+  double straggler_ratio = 1.5;
+  // ECT-threshold trigger: additionally require the estimated absolute win
+  // (primary ECT − backup ECT, seconds) to reach this floor, filtering
+  // near-ties where a duplicate mostly burns bandwidth.
+  double min_ect_gain_seconds = 0.0;
+  // Per-batch budget: at most this many duplicate launches per engine
+  // lifetime (the online service derives a per-batch cap from it).
+  std::size_t max_speculative_tasks =
+      std::numeric_limits<std::size_t>::max();
+  // A backup node qualifies only if it already caches at least this many of
+  // the task's input files (0 = any alive node qualifies).
+  std::size_t min_cached_inputs = 1;
+
+  Status validate() const;
 };
 
 class FaultModel {
@@ -85,12 +138,23 @@ class FaultModel {
 
   // Does attempt `attempt` (0-based) of the `transfer_index`-th committed
   // transfer fail? Stateless and deterministic; the last allowed attempt
-  // never fails.
+  // never fails unless give_up_after_max_attempts is set.
   bool transfer_attempt_fails(std::uint64_t transfer_index,
                               std::size_t attempt) const;
 
-  // Backoff charged after failed attempt `attempt` (0-based).
+  // Backoff charged after failed attempt `attempt` (0-based), clamped to
+  // max_backoff_seconds.
   double backoff_after(std::size_t attempt) const;
+
+  // Any degradation window with factor > 1 configured?
+  bool has_slowdowns() const { return has_slowdowns_; }
+
+  // Wall-clock duration of an execution block of `nominal` seconds starting
+  // at `start` on `node`, walking the node's degradation windows piecewise
+  // (work inside a window progresses at 1/factor speed). Returns `nominal`
+  // exactly when the node has no windows.
+  double stretched_exec_duration(wl::NodeId node, double start,
+                                 double nominal) const;
 
   // Fail-stop time of a compute node; +infinity when none is scheduled.
   double crash_time(wl::NodeId node) const {
@@ -106,6 +170,8 @@ class FaultModel {
   FaultConfig config_;
   std::vector<double> crash_time_;                   // per compute node
   std::vector<std::vector<StorageOutage>> outages_;  // per storage node
+  std::vector<std::vector<NodeSlowdown>> slowdowns_;  // per compute node
+  bool has_slowdowns_ = false;
 };
 
 }  // namespace bsio::sim

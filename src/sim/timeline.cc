@@ -40,6 +40,30 @@ void Timeline::reserve(double start, double duration) {
   busy_.insert(it, iv);
 }
 
+void Timeline::release(double start, double end) {
+  auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), start,
+      [](const Interval& iv, double v) { return iv.start < v; });
+  BSIO_CHECK_MSG(it != busy_.end() && it->start == start && it->end == end,
+                 "timeline release does not match an existing reservation");
+  busy_.erase(it);
+}
+
+void Timeline::truncate(double start, double new_end) {
+  auto it = std::lower_bound(
+      busy_.begin(), busy_.end(), start,
+      [](const Interval& iv, double v) { return iv.start < v; });
+  BSIO_CHECK_MSG(it != busy_.end() && it->start == start,
+                 "timeline truncate does not match an existing reservation");
+  if (new_end <= it->start) {
+    busy_.erase(it);
+    return;
+  }
+  BSIO_CHECK_MSG(new_end <= it->end,
+                 "timeline truncate cannot extend a reservation");
+  it->end = new_end;
+}
+
 double Timeline::busy_time() const {
   double total = 0.0;
   for (const auto& iv : busy_) total += iv.end - iv.start;

@@ -26,6 +26,17 @@ class Timeline {
   // Reserves [start, start + duration); the slot must be free.
   void reserve(double start, double duration);
 
+  // Releases the reservation previously made as [start, end) — the exact
+  // interval must exist. Cancellation rollback for speculative execution:
+  // a losing attempt's not-yet-started reservations are handed back so
+  // foreground transfers reclaim the bandwidth.
+  void release(double start, double end);
+
+  // Shortens the reservation starting at `start` so it ends at `new_end`
+  // (removing it entirely when new_end <= start). Used to cut a losing
+  // attempt's in-flight reservation at the first-finish-wins instant.
+  void truncate(double start, double new_end);
+
   // Largest reservation end time (0 if empty).
   double horizon() const { return busy_.empty() ? 0.0 : busy_.back().end; }
 

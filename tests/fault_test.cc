@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 #include <string>
 
 #include "core/batch_scheduler.h"
@@ -138,6 +139,82 @@ TEST(FaultModel, ZeroFaultConfigReproducesSeedMakespans) {
     EXPECT_EQ(replay.stats.transfer_retries, 0u);
     EXPECT_EQ(replay.stats.node_crashes, 0u);
   }
+}
+
+// --- Backoff clamp & give-up. ---
+
+TEST(FaultModel, BackoffIsClampedToMaxBackoffSeconds) {
+  sim::FaultConfig cfg;
+  cfg.retry_backoff_seconds = 0.5;
+  cfg.retry_backoff_factor = 2.0;
+  cfg.max_backoff_seconds = 3.0;
+  sim::FaultModel m(cfg, 2, 2);
+  EXPECT_DOUBLE_EQ(m.backoff_after(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.backoff_after(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.backoff_after(2), 2.0);
+  EXPECT_DOUBLE_EQ(m.backoff_after(3), 3.0);  // 4.0 clamped
+  // Huge attempt counts must not pow-overflow into absurd waits.
+  EXPECT_DOUBLE_EQ(m.backoff_after(100), 3.0);
+  EXPECT_DOUBLE_EQ(m.backoff_after(10000), 3.0);
+  EXPECT_TRUE(std::isfinite(m.backoff_after(10000)));
+}
+
+TEST(FaultConfig, MaxBackoffSecondsValidation) {
+  const sim::ClusterConfig c = fault_cluster();
+  sim::FaultConfig f;
+  f.max_backoff_seconds = 0.0;
+  EXPECT_FALSE(f.validate(c).ok());
+  f.max_backoff_seconds = -1.0;
+  EXPECT_FALSE(f.validate(c).ok());
+  f.max_backoff_seconds = 60.0;
+  EXPECT_TRUE(f.validate(c).ok());
+}
+
+TEST(FaultInjection, GiveUpAfterMaxAttemptsIsTypedEngineError) {
+  // prob = 1 with give-up: every attempt fails, including the last, and the
+  // engine surfaces a typed error instead of forcing the final success.
+  wl::Workload w = disjoint_workload(1, 2.0);
+  sim::EngineOptions opts;
+  opts.faults.transfer_failure_prob = 1.0;
+  opts.faults.max_transfer_attempts = 2;
+  opts.faults.give_up_after_max_attempts = true;
+  sim::ExecutionEngine eng(fault_cluster(), w, opts);
+  sim::SubBatchPlan p;
+  p.tasks = {0};
+  p.assignment[0] = 0;
+  const auto r = eng.execute(p);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("giving up"), std::string::npos);
+  EXPECT_EQ(eng.totals().transfer_retries, 2u);
+  EXPECT_EQ(eng.totals().tasks_executed, 0u);
+}
+
+TEST(FaultInjection, GiveUpSurfacesThroughDriver) {
+  wl::Workload w = disjoint_workload(2, 1.0);
+  sim::FaultConfig faults;
+  faults.transfer_failure_prob = 1.0;
+  faults.max_transfer_attempts = 3;
+  faults.give_up_after_max_attempts = true;
+  sched::MinMinScheduler sched;
+  const auto r = sched::run_batch(sched, w, fault_cluster(), faults);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("giving up"), std::string::npos);
+  EXPECT_GT(r.tasks_stranded, 0u);
+}
+
+TEST(FaultInjection, GiveUpDisabledKeepsForcedFinalSuccess) {
+  // Same probability-1 scenario without give-up: the final attempt still
+  // succeeds and the batch drains (the PR 1 semantics are the default).
+  wl::Workload w = disjoint_workload(1, 1.0);
+  sim::EngineOptions opts;
+  opts.faults.transfer_failure_prob = 1.0;
+  opts.faults.max_transfer_attempts = 2;
+  sim::ExecutionEngine eng(fault_cluster(), w, opts);
+  sim::SubBatchPlan p;
+  p.tasks = {0};
+  p.assignment[0] = 0;
+  ASSERT_TRUE(eng.execute(p).ok());
+  EXPECT_EQ(eng.totals().tasks_executed, 1u);
 }
 
 // --- Transient transfer failures & retry backoff. ---
@@ -296,6 +373,86 @@ TEST(FaultInjection, DriverReschedulesAcrossCrashForAllSchedulers) {
     EXPECT_EQ(r.stats.node_crashes, 1u);
     EXPECT_GT(r.batch_time, 0.0);
   }
+}
+
+TEST(FaultInjection, TwoOverlappingCrashesLoseNoTasks) {
+  // Six tasks spread over three nodes; nodes 0 and 1 crash with their work
+  // mid-flight. Every task must either execute or surface exactly once as
+  // an orphan — none lost, none run twice.
+  wl::Workload w = disjoint_workload(6, 2.0);
+  const sim::ClusterConfig c = fault_cluster(3, 2);
+  sim::EngineOptions opts;
+  opts.faults.compute_crashes = {{0, 2.0}, {1, 2.5}};
+  sim::ExecutionEngine eng(c, w, opts);
+
+  sim::SubBatchPlan p;
+  p.tasks = {0, 1, 2, 3, 4, 5};
+  for (wl::TaskId t = 0; t < 6; ++t)
+    p.assignment[t] = static_cast<wl::NodeId>(t % 3);
+  const auto stats = eng.execute(p).value();
+
+  EXPECT_EQ(stats.node_crashes, 2u);
+  EXPECT_FALSE(eng.node_alive(0));
+  EXPECT_FALSE(eng.node_alive(1));
+  EXPECT_TRUE(eng.node_alive(2));
+
+  const auto orphaned = eng.take_orphaned();
+  EXPECT_EQ(stats.tasks_executed + orphaned.size(), 6u);
+  // No orphan duplicates, and no orphan was executed.
+  std::set<wl::TaskId> seen(orphaned.begin(), orphaned.end());
+  EXPECT_EQ(seen.size(), orphaned.size());
+
+  // The recovery plan on the survivor drains everything exactly once.
+  sim::SubBatchPlan recovery;
+  recovery.tasks = orphaned;
+  for (wl::TaskId t : orphaned) recovery.assignment[t] = 2;
+  ASSERT_TRUE(eng.execute(recovery).ok());
+  EXPECT_EQ(eng.totals().tasks_executed, 6u);
+  EXPECT_GE(eng.totals().task_reexecutions, 1u);
+  EXPECT_TRUE(eng.take_orphaned().empty());
+}
+
+TEST(FaultInjection, DriverSurvivesTwoOverlappingCrashes) {
+  const wl::Workload w = shared_workload(43);
+  const sim::ClusterConfig c = fault_cluster(4, 2);
+  sim::FaultConfig faults;
+  faults.compute_crashes = {{0, 2.0}, {1, 2.5}};
+  sched::MinMinScheduler sched;
+  const auto r = sched::run_batch(sched, w, c, faults);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.stats.tasks_executed, w.num_tasks());
+  EXPECT_EQ(r.stats.node_crashes, 2u);
+}
+
+TEST(FaultInjection, CrashDuringInFlightTransferOrphansCleanly) {
+  // Node 0 dies at t = 0.5 while its input transfer occupies [0, 1): the
+  // transfer was in flight at the failure (its reservation stands, the
+  // bytes are charged), the task is orphaned without any partial exec, and
+  // the re-run executes it exactly once.
+  wl::Workload w = disjoint_workload(1, 2.0);
+  sim::EngineOptions opts;
+  opts.faults.compute_crashes = {{0, 0.5}};
+  sim::ExecutionEngine eng(fault_cluster(), w, opts);
+
+  sim::SubBatchPlan p;
+  p.tasks = {0};
+  p.assignment[0] = 0;
+  const auto stats = eng.execute(p).value();
+  EXPECT_EQ(stats.tasks_executed, 0u);
+  EXPECT_EQ(stats.remote_transfers, 1u);  // in flight when the node died
+  EXPECT_EQ(stats.task_reexecutions, 1u);
+  EXPECT_TRUE(eng.state().files_on(0).empty());  // the copy died with it
+
+  const auto orphaned = eng.take_orphaned();
+  ASSERT_EQ(orphaned.size(), 1u);
+  sim::SubBatchPlan recovery;
+  recovery.tasks = orphaned;
+  recovery.assignment[orphaned[0]] = 1;
+  const auto stats2 = eng.execute(recovery).value();
+  EXPECT_EQ(stats2.tasks_executed, 1u);
+  EXPECT_EQ(stats2.remote_transfers, 1u);  // re-staged onto the survivor
+  EXPECT_EQ(eng.totals().tasks_executed, 1u);
+  EXPECT_TRUE(eng.take_orphaned().empty());
 }
 
 TEST(FaultInjection, AllNodesCrashedReportsErrorNotAbort) {

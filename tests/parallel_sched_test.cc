@@ -343,7 +343,7 @@ void check_bit_identity(MakeScheduler make, const wl::Workload& w,
     // First-round plan, compared structurally.
     auto s2 = make();
     sim::ExecutionEngine engine(c, w,
-                                {s2->eviction_policy(), false, {}});
+                                {s2->eviction_policy(), false, {}, {}});
     SchedulerContext ctx{w, c, engine};
     sim::SubBatchPlan plan = s2->plan_sub_batch(all_tasks(w), ctx);
 

@@ -161,7 +161,7 @@ void expect_first_plan_identity(const sim::ClusterConfig& c) {
     // History: run batch A on the merged engine, snapshot its caches.
     auto sched_a = spec.make();
     sim::ExecutionEngine merged_eng(
-        c, fx.merged, {sched_a->eviction_policy(), false, {}});
+        c, fx.merged, {sched_a->eviction_policy(), false, {}, {}});
     drain(*sched_a, merged_eng, fx.merged, c, fx.pending_a);
     const sim::InitialCacheState seed =
         sim::InitialCacheState::capture(merged_eng.state());
@@ -176,7 +176,7 @@ void expect_first_plan_identity(const sim::ClusterConfig& c) {
     // Warm start: plan B on a fresh engine restored from the snapshot.
     auto sched_w = spec.make();
     sim::ExecutionEngine warm_eng(c, fx.batch_only,
-                                  {sched_w->eviction_policy(), false, {}});
+                                  {sched_w->eviction_policy(), false, {}, {}});
     ASSERT_TRUE(warm_eng.seed_cache(seed).ok());
     sched::SchedulerContext ctx_w(fx.batch_only, c, warm_eng, &seed);
     const std::uint64_t warm =
@@ -221,7 +221,8 @@ TEST(WarmStartDifferential, RunBatchSeedMatchesManualLoop) {
     ASSERT_TRUE(rb.ok()) << rb.error;
 
     auto sched_manual = spec.make();
-    sim::ExecutionEngine eng(c, b, {sched_manual->eviction_policy(), false, {}});
+    sim::ExecutionEngine eng(
+        c, b, {sched_manual->eviction_policy(), false, {}, {}});
     ASSERT_TRUE(eng.seed_cache(ra.final_cache).ok());
     std::vector<wl::TaskId> pending;
     for (const auto& t : b.tasks()) pending.push_back(t.id);

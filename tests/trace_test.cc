@@ -61,6 +61,8 @@ TEST(Trace, EventsMatchStats) {
         ++exec;
         break;
       case sim::TraceEvent::Kind::kFailedTransfer:
+      case sim::TraceEvent::Kind::kSpeculativeLaunch:
+      case sim::TraceEvent::Kind::kSpeculativeCancel:
         break;
     }
   }
