@@ -4,6 +4,8 @@
 // strcmp loops and fprintf comma bookkeeping.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +18,20 @@
 #include "workload/stats.h"
 
 namespace bsio::bench {
+
+// Peak resident set size of this process so far, in MB (getrusage). Every
+// BENCH JSON reports it alongside timing so memory regressions surface in
+// the same artifacts as slowdowns. Monotone over the process lifetime: a
+// sweep's per-point values reflect the high-water mark up to that point.
+inline double peak_rss_mb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+}
 
 // Minimal argv scanner for the bench mains. Flags are queried, not
 // pre-registered: has("--smoke") consumes a bare flag, value/number

@@ -139,6 +139,7 @@ void write_json(const char* path, const std::vector<Row>& rows,
   j.field("host_cpus", std::thread::hardware_concurrency());
   j.field("smoke", smoke);
   j.end_object();
+  j.field("peak_rss_mb", bench::peak_rss_mb(), 1);
   j.begin_array("results");
   for (const Row& r : rows) {
     j.begin_object();

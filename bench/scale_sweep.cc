@@ -1,0 +1,241 @@
+// Scale-out planning sweep: the ROADMAP's 1k-node / 100k-task / 1M-file
+// regime, exercising the bucketed timelines, the holder-indexed cluster
+// state, the bit-packed planner presence, the heap-based engine event core,
+// and the streaming workload generator together.
+//
+// Runs MinMin (lazy, bounded staleness), JobDataPresent, and BiPartition
+// across a grid of
+// {8, 64, 256, 1024} compute nodes x {1k, 10k, 100k} tasks drawn from a
+// 2M-file virtual universe (100k tasks x 8 files/task touch ~660k distinct
+// files), recording planning wall-seconds, simulated makespan, and peak RSS
+// per point into BENCH_scale.json. The IP scheduler stays node-capped: its
+// MIP rows grow with nodes x tasks x files and the solve budget makes it a
+// small-instance tool (see EXPERIMENTS.md for the cliff), so it runs only
+// at the 8-node / 1k-task corner for reference.
+//
+//   scale_sweep [--smoke] [--out <path>] [--max-point-seconds <s>]
+//               [--max-rss-mb <mb>]
+//
+// --smoke shrinks the grid for CI ({8, 64} nodes x 1k tasks, no IP);
+// --max-point-seconds / --max-rss-mb turn the sweep into an acceptance
+// gate: any point whose planning time or the process's peak RSS exceeds
+// the ceiling fails the run.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sched/bipartition.h"
+#include "sched/driver.h"
+#include "sched/ip_scheduler.h"
+#include "sched/job_data_present.h"
+#include "sched/minmin.h"
+#include "sim/cluster.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace bsio;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Row {
+  std::string scheduler;
+  std::size_t nodes = 0;
+  std::size_t tasks = 0;
+  std::size_t files = 0;  // distinct files the batch draws
+  double planning_seconds = 0.0;
+  double wall_seconds = 0.0;  // planning + simulated execution
+  double makespan_seconds = 0.0;
+  double peak_rss_mb = 0.0;  // process high-water mark at row end
+};
+
+struct SchedulerSpec {
+  std::string label;
+  std::size_t max_nodes;  // skip larger points
+  std::size_t max_tasks;
+  std::unique_ptr<sched::Scheduler> (*make)();
+};
+
+// Refresh-cascade cap for MinMin's lazy heap. Unbounded, every commit's
+// perturbation of the shared storage ports forces ~2k full-row refreshes
+// per commit at 10k tasks (74 s at 10k x 64; hours at 100k) — with the cap
+// the same point plans in 2.6 s and the makespan moves by under 0.2%.
+constexpr std::size_t kMinMinStaleRetryBudget = 32;
+
+std::unique_ptr<sched::Scheduler> make_minmin() {
+  // Always the lazy-heap path: exact MinMin is O(T^2 N) and already
+  // intractable at 10k tasks x 256 nodes.
+  return std::make_unique<sched::MinMinScheduler>(0, kMinMinStaleRetryBudget);
+}
+std::unique_ptr<sched::Scheduler> make_jdp() {
+  return std::make_unique<sched::JobDataPresentScheduler>();
+}
+std::unique_ptr<sched::Scheduler> make_bipartition() {
+  return std::make_unique<sched::BiPartitionScheduler>();
+}
+std::unique_ptr<sched::Scheduler> make_ip() {
+  sched::IpSchedulerOptions o = sched::IpScheduler::default_options();
+  o.max_subbatch_tasks = 32;
+  o.selection_mip.time_limit_seconds = 0.04;
+  o.allocation_mip.time_limit_seconds = 0.04;
+  o.selection_mip.stall_node_limit = 64;
+  o.allocation_mip.stall_node_limit = 64;
+  return std::make_unique<sched::IpScheduler>(o);
+}
+
+sim::ClusterConfig scale_cluster(std::size_t compute_nodes,
+                                 std::size_t storage_nodes) {
+  sim::ClusterConfig c;
+  c.num_compute_nodes = compute_nodes;
+  c.num_storage_nodes = storage_nodes;
+  c.storage_disk_bw = 50.0 * sim::kMB;
+  c.storage_net_bw = 500.0 * sim::kMB;
+  c.compute_net_bw = 400.0 * sim::kMB;
+  c.local_disk_bw = 200.0 * sim::kMB;
+  // Unlimited disks: the sweep measures planning scalability, not eviction
+  // behaviour (fig5b covers that); capacity pressure at this scale would
+  // make eviction policy the variable instead of the data structures.
+  c.disk_capacity = sim::kUnlimited;
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::ParseArgs args(argc, argv);
+  const bool smoke = args.has("--smoke");
+  const char* out_path = args.value("--out", "BENCH_scale.json");
+  const double max_point_seconds = args.number("--max-point-seconds", 0.0);
+  const double max_rss_mb = args.number("--max-rss-mb", 0.0);
+  args.reject_unknown(
+      "scale_sweep [--smoke] [--out <path>] [--max-point-seconds <s>] "
+      "[--max-rss-mb <mb>]");
+
+  const std::vector<std::size_t> node_grid =
+      smoke ? std::vector<std::size_t>{8, 64}
+            : std::vector<std::size_t>{8, 64, 256, 1024};
+  const std::vector<std::size_t> task_grid =
+      smoke ? std::vector<std::size_t>{1000}
+            : std::vector<std::size_t>{1000, 10000, 100000};
+  const std::size_t universe = 2'000'000;
+
+  const std::vector<SchedulerSpec> specs = {
+      {"MinMin", static_cast<std::size_t>(-1), static_cast<std::size_t>(-1),
+       &make_minmin},
+      {"JobDataPresent", static_cast<std::size_t>(-1),
+       static_cast<std::size_t>(-1), &make_jdp},
+      {"BiPartition", static_cast<std::size_t>(-1),
+       static_cast<std::size_t>(-1), &make_bipartition},
+      // Node-capped: IP's MIPs do not survive past small instances.
+      {"IP", 8, 1000, &make_ip},
+  };
+
+  std::printf("scale_sweep: %zu-file universe%s\n", universe,
+              smoke ? " (smoke)" : "");
+  std::printf("%-16s %6s %7s %8s %12s %10s %12s %10s\n", "scheduler", "nodes",
+              "tasks", "files", "plan [s]", "wall [s]", "makespan [s]",
+              "rss [MB]");
+
+  std::vector<Row> rows;
+  bool ceilings_ok = true;
+  for (std::size_t tasks : task_grid) {
+    for (std::size_t nodes : node_grid) {
+      const std::size_t storage_nodes = std::max<std::size_t>(4, nodes / 8);
+
+      wl::StreamingSyntheticConfig wcfg;
+      wcfg.num_tasks = tasks;
+      wcfg.files_per_task = 8;
+      wcfg.universe_files = universe;
+      wcfg.zipf_s = 0.0;  // uniform: maximal distinct-file pressure
+      wcfg.file_size_bytes = 50.0 * sim::kMB;
+      wcfg.file_size_jitter = 0.25;
+      wcfg.num_storage_nodes = storage_nodes;
+      wcfg.seed = 7;
+      const wl::Workload w = wl::make_synthetic_streaming(wcfg);
+
+      const sim::ClusterConfig cluster = scale_cluster(nodes, storage_nodes);
+
+      for (const auto& spec : specs) {
+        if (nodes > spec.max_nodes || tasks > spec.max_tasks) continue;
+        auto scheduler = spec.make();
+        const Clock::time_point t0 = Clock::now();
+        const sched::BatchRunResult r = sched::run_batch(*scheduler, w, cluster);
+        if (!r.ok()) {
+          std::fprintf(stderr, "scale_sweep: %s at %zu nodes / %zu tasks "
+                       "failed: %s\n",
+                       spec.label.c_str(), nodes, tasks, r.error.c_str());
+          return 1;
+        }
+        Row row;
+        row.scheduler = spec.label;
+        row.nodes = nodes;
+        row.tasks = tasks;
+        row.files = w.num_files();
+        row.planning_seconds = r.scheduling_seconds;
+        row.wall_seconds = seconds_since(t0);
+        row.makespan_seconds = r.batch_time;
+        row.peak_rss_mb = bench::peak_rss_mb();
+        std::printf("%-16s %6zu %7zu %8zu %12.3f %10.2f %12.1f %10.1f\n",
+                    row.scheduler.c_str(), row.nodes, row.tasks, row.files,
+                    row.planning_seconds, row.wall_seconds,
+                    row.makespan_seconds, row.peak_rss_mb);
+        std::fflush(stdout);
+        if (max_point_seconds > 0.0 &&
+            row.planning_seconds > max_point_seconds) {
+          std::fprintf(stderr,
+                       "scale_sweep: %s at %zu nodes / %zu tasks planned in "
+                       "%.3f s, over the --max-point-seconds ceiling %.3f\n",
+                       row.scheduler.c_str(), nodes, tasks,
+                       row.planning_seconds, max_point_seconds);
+          ceilings_ok = false;
+        }
+        if (max_rss_mb > 0.0 && row.peak_rss_mb > max_rss_mb) {
+          std::fprintf(stderr,
+                       "scale_sweep: peak RSS %.1f MB after %s at %zu nodes "
+                       "/ %zu tasks, over the --max-rss-mb ceiling %.1f\n",
+                       row.peak_rss_mb, row.scheduler.c_str(), nodes, tasks,
+                       max_rss_mb);
+          ceilings_ok = false;
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+
+  bench::JsonWriter j(out_path);
+  j.begin_object();
+  j.field("bench", "scale_sweep");
+  j.begin_object("config");
+  j.field("universe_files", universe);
+  j.field("files_per_task", static_cast<std::size_t>(8));
+  j.field("file_size_mb", 50.0, 0);
+  j.field("minmin_stale_retry_budget", kMinMinStaleRetryBudget);
+  j.field("smoke", smoke);
+  j.end_object();
+  j.field("peak_rss_mb", bench::peak_rss_mb(), 1);
+  j.begin_array("results");
+  for (const Row& r : rows) {
+    j.begin_object();
+    j.field("scheduler", r.scheduler);
+    j.field("nodes", r.nodes);
+    j.field("tasks", r.tasks);
+    j.field("files", r.files);
+    j.field("planning_seconds", r.planning_seconds, 3);
+    j.field("wall_seconds", r.wall_seconds, 2);
+    j.field("makespan_seconds", r.makespan_seconds, 1);
+    j.field("peak_rss_mb", r.peak_rss_mb, 1);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("\nwrote %s (%zu rows)\n", out_path, rows.size());
+
+  return ceilings_ok ? 0 : 1;
+}

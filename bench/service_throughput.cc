@@ -206,6 +206,7 @@ int main(int argc, char** argv) {
   j.field("zipf_s", batch_cfg.zipf_s, 2);
   j.field("smoke", smoke);
   j.end_object();
+  j.field("peak_rss_mb", bench::peak_rss_mb(), 1);
   j.begin_array("results");
   for (const ServiceRow& r : rows) {
     const service::ServiceStats& s = r.stats;

@@ -138,20 +138,26 @@ void PlannerState::reset(const wl::Workload& w, const sim::Topology& topo,
   storage_ready.assign(c.num_storage_nodes, 0.0);
   link_ready.assign(topo.num_links(), 0.0);
 
+  // Clear exactly the set bits through the outgoing planned lists — they
+  // cover the bitmap's set bits one-for-one (add_planned sets a bit iff it
+  // records a holder), so reuse costs O(holders) instead of re-zeroing
+  // files * nodes bits. Must run before the lists themselves are cleared,
+  // and uses the outgoing stride (num_nodes_).
+  for (std::size_t f = 0; f < planned.size(); ++f)
+    for (const auto& [n, avail] : planned[f]) {
+      const std::size_t bit = f * num_nodes_ + n;
+      present_[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+    }
+
   planned.resize(w.num_files());
   for (auto& holders : planned) holders.clear();
   node_files.resize(c.num_compute_nodes);
   for (auto& files : node_files) files.clear();
 
-  const std::size_t want = w.num_files() * c.num_compute_nodes;
-  if (present_.size() < want ||
-      num_nodes_ != static_cast<std::size_t>(c.num_compute_nodes) ||
-      epoch_ == std::numeric_limits<std::uint32_t>::max()) {
-    present_.assign(want, 0);
-    epoch_ = 0;
-  }
+  const std::size_t want =
+      (w.num_files() * c.num_compute_nodes + 63) / 64;
+  if (present_.size() < want) present_.resize(want, 0);
   num_nodes_ = c.num_compute_nodes;
-  ++epoch_;  // one bump invalidates every stale stamp
 
   for (wl::FileId f = 0; f < w.num_files(); ++f)
     for (wl::NodeId n : current.holders(f))
@@ -159,9 +165,11 @@ void PlannerState::reset(const wl::Workload& w, const sim::Topology& topo,
 }
 
 void PlannerState::add_planned(wl::FileId f, wl::NodeId n, double avail) {
-  auto& stamp = present_[static_cast<std::size_t>(f) * num_nodes_ + n];
-  if (stamp == epoch_) return;
-  stamp = epoch_;
+  const std::size_t bit = static_cast<std::size_t>(f) * num_nodes_ + n;
+  std::uint64_t& word = present_[bit >> 6];
+  const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+  if (word & mask) return;
+  word |= mask;
   planned[f].push_back({n, avail});
   node_files[n].push_back(f);
 }

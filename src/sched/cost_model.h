@@ -72,10 +72,12 @@ std::vector<double> plain_exec_times(const wl::Workload& w,
 //    source scans iterate — only actual holders, never all nodes;
 //  - node_files[n]: the per-node replica list, for per-node load accounting
 //    (JobDataPresent's Data Least Loaded placement);
-//  - an epoch-stamped per-(file, node) presence bitmap making on_node O(1).
-//    The epoch stamp lets reset() invalidate the whole bitmap by bumping a
-//    counter instead of refilling num_files * num_nodes entries, so a
-//    scheduler can reuse one PlannerState across sub-batch rounds.
+//  - a bit-packed per-(file, node) presence bitmap making on_node O(1) at
+//    one bit per entry — 1M files x 1k nodes costs ~125 MB where a
+//    byte-or-wider grid would not fit the scale-sweep memory budget.
+//    reset() clears exactly the set bits by walking the outgoing planned
+//    lists (add_planned sets a bit iff it records a holder), so reuse
+//    across sub-batch rounds costs O(holders), not O(files * nodes).
 struct PlannerState {
   std::vector<double> node_ready;     // per compute node
   std::vector<double> storage_ready;  // per storage node
@@ -103,12 +105,12 @@ struct PlannerState {
   void add_planned(wl::FileId f, wl::NodeId n, double avail);
 
   bool on_node(wl::FileId f, wl::NodeId n) const {
-    return present_[static_cast<std::size_t>(f) * num_nodes_ + n] == epoch_;
+    const std::size_t bit = static_cast<std::size_t>(f) * num_nodes_ + n;
+    return (present_[bit >> 6] >> (bit & 63)) & 1u;
   }
 
  private:
-  std::vector<std::uint32_t> present_;  // epoch stamps, file-major
-  std::uint32_t epoch_ = 0;
+  std::vector<std::uint64_t> present_;  // 1 bit per (file, node), file-major
   std::size_t num_nodes_ = 0;
 };
 

@@ -40,11 +40,14 @@ std::pair<wl::NodeId, double> fold_best_node(
   return {best_node, best_ct};
 }
 
-// Lazy-heap MinMin for large batches.
-sim::SubBatchPlan plan_lazy(const wl::Workload& w,
-                            const sim::Topology& topo, PlannerState& ps,
+// Lazy-heap MinMin for large batches. `stale_retry_budget` caps the
+// refresh cascade between commits (see minmin.h); SIZE_MAX reproduces the
+// historical unbounded behavior bit-for-bit.
+sim::SubBatchPlan plan_lazy(const wl::Workload& w, const sim::Topology& topo,
+                            PlannerState& ps,
                             const std::vector<wl::TaskId>& pending,
-                            const std::vector<wl::NodeId>& nodes) {
+                            const std::vector<wl::NodeId>& nodes,
+                            std::size_t stale_retry_budget) {
   ThreadPool& pool = ThreadPool::global();
   const std::size_t N = nodes.size();
   sim::SubBatchPlan plan;
@@ -55,18 +58,31 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w,
   };
 
   // Initial sweep: every task's per-node estimates in parallel (read-only
-  // against ps), heap built sequentially in pending order.
-  std::vector<double> ct(pending.size() * N);
+  // against ps), each row folded in place so only the per-task key is kept
+  // — materializing the full T x N matrix costs ~800 MB at 100k x 1k and
+  // the fold only ever reads one row. Heap built sequentially in pending
+  // order.
+  std::vector<double> key(pending.size());
   pool.parallel_for_each(pending.size(), [&](std::size_t i) {
+    std::vector<double> r(N);
     for (std::size_t j = 0; j < N; ++j)
-      ct[i * N + j] = estimate_completion_time(w, topo, ps, pending[i], nodes[j]);
+      r[j] = estimate_completion_time(w, topo, ps, pending[i], nodes[j]);
+    key[i] = fold_best_node(ps, nodes, r.data()).second;
   });
   std::priority_queue<Entry> heap;
   for (std::size_t i = 0; i < pending.size(); ++i)
-    heap.push({fold_best_node(ps, nodes, &ct[i * N]).second, pending[i]});
+    heap.push({key[i], pending[i]});
 
   std::vector<bool> done(w.num_tasks(), false);
   std::vector<double> row(N);
+  // Best fresh candidate seen in the current refresh cascade: all of them
+  // were evaluated against the same ps (no commit in between), so the
+  // recorded (task, node, ct) stays exact until the next commit.
+  std::size_t retries = 0;
+  bool fresh_valid = false;
+  double fresh_ct = 0.0;
+  wl::TaskId fresh_task = 0;
+  wl::NodeId fresh_node = 0;
   while (!heap.empty()) {
     Entry e = heap.top();
     heap.pop();
@@ -75,15 +91,35 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w,
       row[j] = estimate_completion_time(w, topo, ps, e.task, nodes[j]);
     });
     auto [node, best_ct] = fold_best_node(ps, nodes, row.data());
-    if (!heap.empty() && best_ct > heap.top().ct + 1e-9 * (1.0 + best_ct)) {
+    const bool stale =
+        !heap.empty() && best_ct > heap.top().ct + 1e-9 * (1.0 + best_ct);
+    if (stale && retries < stale_retry_budget) {
       heap.push({best_ct, e.task});  // stale; retry later
+      if (!fresh_valid || best_ct < fresh_ct) {
+        fresh_valid = true;
+        fresh_ct = best_ct;
+        fresh_task = e.task;
+        fresh_node = node;
+      }
+      ++retries;
       continue;
     }
-    CompletionEstimate est = estimate_completion(w, topo, ps, e.task, node);
-    apply_assignment(w, topo, ps, e.task, node, est);
-    plan.tasks.push_back(e.task);
-    plan.assignment[e.task] = node;
-    done[e.task] = true;
+    wl::TaskId task = e.task;
+    if (stale && fresh_valid && fresh_ct < best_ct) {
+      // Budget exhausted: commit the best candidate refreshed in this
+      // cascade instead; the popped entry rejoins the heap with its fresh
+      // key. (Its stale twin pushed earlier is skipped via done[].)
+      heap.push({best_ct, e.task});
+      task = fresh_task;
+      node = fresh_node;
+    }
+    CompletionEstimate est = estimate_completion(w, topo, ps, task, node);
+    apply_assignment(w, topo, ps, task, node, est);
+    plan.tasks.push_back(task);
+    plan.assignment[task] = node;
+    done[task] = true;
+    retries = 0;
+    fresh_valid = false;
   }
   return plan;
 }
@@ -99,7 +135,7 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
   BSIO_CHECK_MSG(!nodes.empty(), "MinMin: no compute node is alive");
 
   if (pending.size() > exact_threshold_)
-    return plan_lazy(w, topo, ps_, pending, nodes);
+    return plan_lazy(w, topo, ps_, pending, nodes, stale_retry_budget_);
 
   ThreadPool& pool = ThreadPool::global();
   sim::SubBatchPlan plan;

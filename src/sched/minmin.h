@@ -14,6 +14,8 @@
 // thread count.
 #pragma once
 
+#include <limits>
+
 #include "sched/cost_model.h"
 #include "sched/scheduler.h"
 
@@ -28,8 +30,24 @@ class MinMinScheduler : public Scheduler {
   // so the lazy order matches the exact one except when a fresh replica
   // lowers another task's MCT — a negligible deviation at the scale where
   // the exact O(T^2 C F) scan is unaffordable.
-  explicit MinMinScheduler(std::size_t exact_threshold = 400)
-      : exact_threshold_(exact_threshold) {}
+  //
+  // `stale_retry_budget` bounds how many stale entries the lazy heap may
+  // refresh-and-repush between two commits. Every commit perturbs the
+  // shared storage and link ready times, which invalidates the cached key
+  // of every task competing for the same ports — on contended workloads
+  // the refresh cascade between commits grows linearly with the batch, and
+  // unbounded retries turn the lazy path quadratic (thousands of full-row
+  // re-evaluations per commit at 10k+ tasks). With a finite budget the
+  // cascade stops after that many refreshes and commits the best fresh
+  // candidate seen — bounded-staleness MinMin: per-commit cost is
+  // O(budget * nodes * files_per_task) and plan quality degrades only by
+  // the key drift a single commit can cause. The default keeps the
+  // historical unbounded behavior.
+  explicit MinMinScheduler(
+      std::size_t exact_threshold = 400,
+      std::size_t stale_retry_budget = std::numeric_limits<std::size_t>::max())
+      : exact_threshold_(exact_threshold),
+        stale_retry_budget_(stale_retry_budget) {}
 
   std::string name() const override { return "MinMin"; }
   sim::SubBatchPlan plan_sub_batch(const std::vector<wl::TaskId>& pending,
@@ -37,6 +55,7 @@ class MinMinScheduler : public Scheduler {
 
  private:
   std::size_t exact_threshold_;
+  std::size_t stale_retry_budget_;
   PlannerState ps_;  // reused across rounds (epoch-stamped reset)
 };
 

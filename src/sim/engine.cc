@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <string>
 #include <limits>
+#include <queue>
+#include <string>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -11,37 +12,57 @@
 namespace bsio::sim {
 
 namespace {
+
 constexpr double kInfTime = std::numeric_limits<double>::infinity();
+
+// Overflow-safe counter addition: clamp at the type's extreme instead of
+// wrapping, so accumulated totals over a 1M-file run degrade to "at least
+// this many" rather than a silently small number.
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r;
+  if (__builtin_add_overflow(a, b, &r))
+    return std::numeric_limits<std::uint64_t>::max();
+  return r;
 }
 
+std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r))
+    return a < 0 ? std::numeric_limits<std::int64_t>::min()
+                 : std::numeric_limits<std::int64_t>::max();
+  return r;
+}
+
+}  // namespace
+
 void ExecutionStats::accumulate(const ExecutionStats& o) {
-  tasks_executed += o.tasks_executed;
-  remote_transfers += o.remote_transfers;
-  replications += o.replications;
-  evictions += o.evictions;
-  restages += o.restages;
-  cache_hits += o.cache_hits;
+  tasks_executed = sat_add(tasks_executed, o.tasks_executed);
+  remote_transfers = sat_add(remote_transfers, o.remote_transfers);
+  replications = sat_add(replications, o.replications);
+  evictions = sat_add(evictions, o.evictions);
+  restages = sat_add(restages, o.restages);
+  cache_hits = sat_add(cache_hits, o.cache_hits);
   remote_bytes += o.remote_bytes;
   replica_bytes += o.replica_bytes;
   cache_hit_bytes += o.cache_hit_bytes;
   warm_hit_bytes += o.warm_hit_bytes;
-  transfer_retries += o.transfer_retries;
-  task_reexecutions += o.task_reexecutions;
-  node_crashes += o.node_crashes;
+  transfer_retries = sat_add(transfer_retries, o.transfer_retries);
+  task_reexecutions = sat_add(task_reexecutions, o.task_reexecutions);
+  node_crashes = sat_add(node_crashes, o.node_crashes);
   lost_replica_bytes += o.lost_replica_bytes;
   recovery_seconds += o.recovery_seconds;
-  speculative_launches += o.speculative_launches;
-  speculative_wins += o.speculative_wins;
-  speculative_cancels += o.speculative_cancels;
+  speculative_launches = sat_add(speculative_launches, o.speculative_launches);
+  speculative_wins = sat_add(speculative_wins, o.speculative_wins);
+  speculative_cancels = sat_add(speculative_cancels, o.speculative_cancels);
   wasted_seconds += o.wasted_seconds;
   wasted_bytes += o.wasted_bytes;
-  lp_factorizations += o.lp_factorizations;
+  lp_factorizations = sat_add(lp_factorizations, o.lp_factorizations);
   if (o.lp_factor_fill_nnz > lp_factor_fill_nnz)
     lp_factor_fill_nnz = o.lp_factor_fill_nnz;
-  lp_pivots += o.lp_pivots;
-  lp_bound_flips += o.lp_bound_flips;
-  lp_degenerate_pivots += o.lp_degenerate_pivots;
-  mip_nodes += o.mip_nodes;
+  lp_pivots = sat_add(lp_pivots, o.lp_pivots);
+  lp_bound_flips = sat_add(lp_bound_flips, o.lp_bound_flips);
+  lp_degenerate_pivots = sat_add(lp_degenerate_pivots, o.lp_degenerate_pivots);
+  mip_nodes = sat_add(mip_nodes, o.mip_nodes);
 }
 
 ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
@@ -677,21 +698,34 @@ Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
   std::vector<std::vector<wl::TaskId>> groups(cluster_.num_compute_nodes);
   for (wl::TaskId t : plan.tasks) groups[plan.assignment.at(t)].push_back(t);
 
+  // Serve the group whose node frees up first (equivalently: whenever a
+  // node finishes, it picks its next task by earliest completion time).
+  // Selection runs off a lazily-revalidated min-heap of (horizon, node) —
+  // O(log K) per event instead of scanning all K groups, which dominated
+  // at 1k nodes. (horizon, node) ordering ties to the lower node id,
+  // exactly the historical linear scan's tie-break. Entries go stale when
+  // a commit moves ANOTHER node's horizon (replica sources gain port
+  // reservations), so each pop is checked against the live horizon and
+  // re-pushed when it grew. The one path that can LOWER a horizon —
+  // speculation cancelling the losing attempt — is handled by re-pushing
+  // every non-empty group fresh after a speculative commit.
+  using HeapEntry = std::pair<double, wl::NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      ready;
+  for (wl::NodeId n = 0; n < groups.size(); ++n)
+    if (!groups[n].empty()) ready.push({compute_tl_[n].horizon(), n});
+
   std::size_t left = plan.tasks.size();
   while (left > 0) {
-    // Serve the group whose node frees up first (equivalently: whenever a
-    // node finishes, it picks its next task by earliest completion time).
-    wl::NodeId node = wl::kInvalidNode;
-    double best_h = kInfTime;
-    for (wl::NodeId n = 0; n < groups.size(); ++n) {
-      if (groups[n].empty()) continue;
-      double h = compute_tl_[n].horizon();
-      if (h < best_h) {
-        best_h = h;
-        node = n;
-      }
+    BSIO_CHECK(!ready.empty());
+    const auto [h, node] = ready.top();
+    ready.pop();
+    if (groups[node].empty()) continue;  // drained or crash-orphaned
+    if (h != compute_tl_[node].horizon()) {
+      ready.push({compute_tl_[node].horizon(), node});  // stale: revalidate
+      continue;
     }
-    BSIO_CHECK(node != wl::kInvalidNode);
 
     auto& group = groups[node];
     std::size_t best_i = 0;
@@ -741,6 +775,15 @@ Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
       for (wl::TaskId t : groups[n]) orphaned_.push_back(t);
       left -= groups[n].size();
       groups[n].clear();
+    }
+
+    if (backup == wl::kInvalidNode) {
+      if (!group.empty()) ready.push({compute_tl_[node].horizon(), node});
+    } else {
+      // A cancelled attempt may have truncated the loser's timeline below
+      // entries already in the heap; refresh everything still pending.
+      for (wl::NodeId n = 0; n < groups.size(); ++n)
+        if (!groups[n].empty()) ready.push({compute_tl_[n].horizon(), n});
     }
   }
 

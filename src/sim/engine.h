@@ -33,6 +33,7 @@
 //    wasted work (DESIGN.md §10).
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -90,13 +91,17 @@ struct TraceEvent {
 };
 
 // Statistics for one execute() call (per sub-batch) and accumulated totals.
+//
+// Event and byte counters are 64-bit: a 1M-file scale run crosses 2^32
+// transfer events across accumulated batches, so the counters are fixed
+//-width uint64_t and accumulate() saturates instead of wrapping.
 struct ExecutionStats {
-  std::size_t tasks_executed = 0;
-  std::size_t remote_transfers = 0;
-  std::size_t replications = 0;
-  std::size_t evictions = 0;
-  std::size_t restages = 0;  // stages of a file previously evicted
-  std::size_t cache_hits = 0;  // needed file already on the node
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t remote_transfers = 0;
+  std::uint64_t replications = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t restages = 0;  // stages of a file previously evicted
+  std::uint64_t cache_hits = 0;  // needed file already on the node
   double remote_bytes = 0.0;
   double replica_bytes = 0.0;
   // Bytes served straight from a node's cache (one count per (task, file)
@@ -107,18 +112,18 @@ struct ExecutionStats {
   double warm_hit_bytes = 0.0;
 
   // Failure / recovery counters (all zero with faults disabled).
-  std::size_t transfer_retries = 0;   // failed transfer attempts
-  std::size_t task_reexecutions = 0;  // tasks killed by a crash, to re-run
-  std::size_t node_crashes = 0;       // compute-node crashes applied
+  std::uint64_t transfer_retries = 0;   // failed transfer attempts
+  std::uint64_t task_reexecutions = 0;  // tasks killed by a crash, to re-run
+  std::uint64_t node_crashes = 0;       // compute-node crashes applied
   double lost_replica_bytes = 0.0;    // cache bytes dropped by crashes
   // Simulated seconds lost to recovery: failed-attempt windows, retry
   // backoffs, and the partial execution of crash-killed tasks.
   double recovery_seconds = 0.0;
 
   // Speculation counters (all zero with speculation disabled).
-  std::size_t speculative_launches = 0;  // duplicate attempts opened
-  std::size_t speculative_wins = 0;      // duplicates that beat the primary
-  std::size_t speculative_cancels = 0;   // losing attempts cancelled
+  std::uint64_t speculative_launches = 0;  // duplicate attempts opened
+  std::uint64_t speculative_wins = 0;      // duplicates beating the primary
+  std::uint64_t speculative_cancels = 0;   // losing attempts cancelled
   // Wasted work charged to cancelled attempts: compute-timeline seconds the
   // losing node spent before the first-finish-wins cut, and the pro-rated
   // bytes of its in-flight transfers at that instant.
@@ -128,13 +133,14 @@ struct ExecutionStats {
   // Solver observability (filled by the batch driver for IP-backed
   // schedulers; zero for the heuristics). Mirrors lp::SolverStats plus the
   // branch-and-bound node count, so BENCH rows can report kernel behaviour.
-  long lp_factorizations = 0;
-  long lp_factor_fill_nnz = 0;  // peak nnz(L)+nnz(U) over all solves
-  long lp_pivots = 0;
-  long lp_bound_flips = 0;
-  long lp_degenerate_pivots = 0;
-  long mip_nodes = 0;
+  std::int64_t lp_factorizations = 0;
+  std::int64_t lp_factor_fill_nnz = 0;  // peak nnz(L)+nnz(U) over all solves
+  std::int64_t lp_pivots = 0;
+  std::int64_t lp_bound_flips = 0;
+  std::int64_t lp_degenerate_pivots = 0;
+  std::int64_t mip_nodes = 0;
 
+  // Saturating: counters clamp at their maximum instead of wrapping.
   void accumulate(const ExecutionStats& o);
 
   // Returns every counter to zero. Callers that reuse one ExecutionStats

@@ -60,17 +60,32 @@ double ClusterState::last_used_at(wl::NodeId node, wl::FileId file) const {
   return it->second.last_use;
 }
 
-std::vector<wl::NodeId> ClusterState::holders(wl::FileId file) const {
-  std::vector<wl::NodeId> out;
-  for (wl::NodeId n = 0; n < caches_.size(); ++n)
-    if (caches_[n].count(file)) out.push_back(n);
-  return out;
+namespace {
+const std::vector<wl::NodeId> kNoHolders;
+}
+
+const std::vector<wl::NodeId>& ClusterState::holders(wl::FileId file) const {
+  auto it = holder_index_.find(file);
+  return it == holder_index_.end() ? kNoHolders : it->second;
 }
 
 std::size_t ClusterState::num_copies(wl::FileId file) const {
-  std::size_t c = 0;
-  for (const auto& cache : caches_) c += cache.count(file);
-  return c;
+  auto it = holder_index_.find(file);
+  return it == holder_index_.end() ? 0 : it->second.size();
+}
+
+void ClusterState::index_add(wl::NodeId node, wl::FileId file) {
+  std::vector<wl::NodeId>& h = holder_index_[file];
+  h.insert(std::upper_bound(h.begin(), h.end(), node), node);
+}
+
+void ClusterState::index_remove(wl::NodeId node, wl::FileId file) {
+  auto it = holder_index_.find(file);
+  BSIO_CHECK(it != holder_index_.end());
+  auto pos = std::lower_bound(it->second.begin(), it->second.end(), node);
+  BSIO_CHECK(pos != it->second.end() && *pos == node);
+  it->second.erase(pos);
+  if (it->second.empty()) holder_index_.erase(it);
 }
 
 void ClusterState::add(wl::NodeId node, wl::FileId file, double size_bytes,
@@ -80,6 +95,7 @@ void ClusterState::add(wl::NodeId node, wl::FileId file, double size_bytes,
     used_[node] += size_bytes;
     BSIO_CHECK_MSG(used_[node] <= capacity_[node] + 1.0,
                    "disk capacity exceeded: eviction must run before add");
+    index_add(node, file);
   }
   it->second.avail_time = avail_time;
   it->second.last_use = std::max(it->second.last_use, avail_time);
@@ -93,6 +109,7 @@ void ClusterState::restore(wl::NodeId node, wl::FileId file,
     used_[node] += size_bytes;
     BSIO_CHECK_MSG(used_[node] <= capacity_[node] + 1.0,
                    "disk capacity exceeded: the seed must fit the node");
+    index_add(node, file);
   }
   it->second.avail_time = avail_time;
   it->second.last_use = last_use;
@@ -104,10 +121,12 @@ void ClusterState::remove(wl::NodeId node, wl::FileId file,
   BSIO_CHECK(it != caches_[node].end());
   caches_[node].erase(it);
   used_[node] -= size_bytes;
+  index_remove(node, file);
 }
 
 double ClusterState::clear_node(wl::NodeId node) {
   const double lost = used_[node];
+  for (const auto& [file, entry] : caches_[node]) index_remove(node, file);
   caches_[node].clear();
   used_[node] = 0.0;
   return lost;

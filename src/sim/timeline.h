@@ -5,8 +5,18 @@
 // the shared uplink. Reservations are half-open busy intervals; queries
 // find the earliest gap of a given duration, optionally across several
 // timelines at once (a transfer must hold both endpoints simultaneously).
+//
+// Storage is bucketed (an unrolled ordered list of fixed-capacity chunks)
+// so the scale-out regime — storage-port calendars holding 10^5+
+// reservations — stays cheap: earliest_free is O(log n + gap-distance),
+// reserve/release/truncate are O(log n + chunk-width) instead of the old
+// O(n) contiguous-vector shift. The gap-walk arithmetic and epsilon
+// comparisons are byte-for-byte the historical ones, so every query and
+// mutation is bit-identical to the flat-vector implementation (pinned by
+// tests/timeline_property_test.cc against a brute-force reference).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "util/check.h"
@@ -38,22 +48,47 @@ class Timeline {
   void truncate(double start, double new_end);
 
   // Largest reservation end time (0 if empty).
-  double horizon() const { return busy_.empty() ? 0.0 : busy_.back().end; }
+  double horizon() const {
+    return chunks_.empty() ? 0.0 : chunks_.back().ivs.back().end;
+  }
 
-  std::size_t num_reservations() const { return busy_.size(); }
-  const std::vector<Interval>& intervals() const { return busy_; }
+  std::size_t num_reservations() const { return size_; }
+
+  // Materialized copy of every reservation, ascending (diagnostics/tests;
+  // the bucketed store has no contiguous array to hand out).
+  std::vector<Interval> intervals() const;
 
   // Total reserved time in [0, horizon].
   double busy_time() const;
 
-  void clear() { busy_.clear(); }
+  void clear() {
+    chunks_.clear();
+    size_ = 0;
+  }
 
-  // Invariant check: sorted, non-overlapping, positive-length intervals.
+  // Invariant check: sorted, non-overlapping, positive-length intervals,
+  // chunk occupancy within bounds.
   void validate() const;
 
  private:
-  // Sorted by start; pairwise disjoint.
-  std::vector<Interval> busy_;
+  // One bucket of the unrolled list: up to kChunkCapacity intervals, sorted
+  // and pairwise disjoint; all intervals in chunk i precede all intervals
+  // in chunk i + 1. Chunks split at capacity and are erased when emptied,
+  // so occupancy stays within [1, kChunkCapacity].
+  struct Chunk {
+    std::vector<Interval> ivs;
+  };
+  static constexpr std::size_t kChunkCapacity = 128;
+
+  // Index of the chunk an interval starting at `start` belongs in (the last
+  // chunk whose first start is <= start), clamped to a valid index.
+  std::size_t chunk_for_start(double start) const;
+
+  // Splits chunks_[ci] in half when it hit capacity.
+  void maybe_split(std::size_t ci);
+
+  std::vector<Chunk> chunks_;
+  std::size_t size_ = 0;
 };
 
 // Earliest t >= after such that [t, t + duration) is simultaneously free on

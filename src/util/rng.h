@@ -108,6 +108,14 @@ class Rng {
   // precomputing weights; this is the direct (small-n) path.
   std::size_t zipf(std::size_t n, double s);
 
+  // O(1)-per-draw Zipf-like rank selection for huge n (the streaming
+  // workload generators draw from multi-million-file universes, where
+  // zipf()'s O(n) weight accumulation per draw is unusable). Inverts the
+  // continuous power-law CDF over [1, n+1) instead of the discrete sum, so
+  // the distribution is a close approximation of zipf() — same exponent,
+  // same hot-head behaviour — but NOT the same draw sequence.
+  std::size_t zipf_stream(std::size_t n, double s);
+
   // Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {
@@ -143,6 +151,24 @@ inline std::size_t Rng::zipf(std::size_t n, double s) {
     if (u <= acc) return r - 1;
   }
   return n - 1;
+}
+
+inline std::size_t Rng::zipf_stream(std::size_t n, double s) {
+  BSIO_DCHECK(n > 0);
+  if (s == 0.0) return uniform(n);
+  const double u = uniform_double();
+  const double nd = static_cast<double>(n);
+  double r;
+  if (s == 1.0) {
+    // CDF(r) = ln(r) / ln(n+1) over [1, n+1).
+    r = std::pow(nd + 1.0, u);
+  } else {
+    // CDF(r) = (r^(1-s) - 1) / ((n+1)^(1-s) - 1) over [1, n+1).
+    const double e = 1.0 - s;
+    r = std::pow(1.0 + u * (std::pow(nd + 1.0, e) - 1.0), 1.0 / e);
+  }
+  const auto rank = static_cast<std::size_t>(r) - 1;
+  return rank < n ? rank : n - 1;  // clamp FP edge cases
 }
 
 inline std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,

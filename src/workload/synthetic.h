@@ -36,4 +36,42 @@ struct SyntheticConfig {
 
 Workload make_synthetic(const SyntheticConfig& cfg);
 
+// --- Streaming generation (scale sweeps). ---
+//
+// make_synthetic draws from an explicit pool whose FileInfo table is
+// materialized up front — fine at emulator scale, hopeless when the file
+// universe has millions of entries and a batch touches a fraction of them.
+// The streaming generator instead defines a VIRTUAL universe of
+// `universe_files` ids whose per-file metadata (size jitter, home node) is
+// derived by hashing the universe id, draws each task's file set with
+// per-task seeded generators, and only then materializes the catalogue of
+// the files actually drawn (densely remapped, ids sorted by universe id).
+// Peak memory is O(tasks * files_per_task + distinct files drawn) — it
+// never scales with universe_files.
+struct StreamingSyntheticConfig {
+  std::size_t num_tasks = 100'000;
+  std::size_t files_per_task = 8;
+  // Size of the virtual file universe the draws come from. The expected
+  // distinct-file count (uniform draws) is
+  // universe * (1 - (1 - 1/universe)^requests).
+  std::size_t universe_files = 2'000'000;
+  // Popularity skew of the draw over the universe (0 = uniform): ranks are
+  // drawn with Rng::zipf_stream, so hot low ids are shared across tasks.
+  double zipf_s = 0.0;
+  double file_size_bytes = 50.0 * 1024 * 1024;
+  // Relative jitter applied to file sizes, in [0, 1); derived per universe
+  // id by hashing, so a file's size is stable however it is drawn.
+  double file_size_jitter = 0.25;
+  double compute_seconds_per_byte = 0.001 / (1024.0 * 1024.0);  // 0.001 s/MB
+  std::size_t num_storage_nodes = 4;
+  std::uint64_t seed = 1;
+};
+
+// Metadata of universe file `uid`, derived by hashing — no catalogue lookup
+// involved, so callers can price files without materializing anything.
+FileInfo stream_file_info(const StreamingSyntheticConfig& cfg,
+                          std::uint64_t uid);
+
+Workload make_synthetic_streaming(const StreamingSyntheticConfig& cfg);
+
 }  // namespace bsio::wl
