@@ -13,12 +13,19 @@
 // in the same JSON, so scheduler robustness to hardware imbalance is part
 // of the perf trajectory.
 //
-//   perf_makespan [--smoke] [--out <path>]
+//   perf_makespan [--smoke] [--out <path>] [--max-ip-seconds <s>]
+//                 [--min-speedup <x>] [--threads <t1,t2,...>]
 //
 // --smoke shrinks the grid for CI (small batches, 1-2 threads).
+// --threads overrides the thread grid (first entry is the speedup
+// baseline); --min-speedup fails the run unless some scheduler reaches
+// that planning speedup at a thread count > 1.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -31,7 +38,7 @@
 #include "sched/job_data_present.h"
 #include "sched/minmin.h"
 #include "sim/cluster.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 #include "workload/synthetic.h"
 
 namespace {
@@ -46,7 +53,8 @@ struct Row {
   double planning_seconds = 0.0;
   double makespan_seconds = 0.0;
   double speedup_vs_1t = 0.0;
-  bool bit_identical = true;  // plan outcome matches the 1-thread run
+  std::uint64_t plan_hash = 0;  // outcome fingerprint (see plan_hash())
+  bool bit_identical = true;    // plan outcome matches the 1-thread run
   // Solver kernel counters (IP rows only; zero for the heuristics).
   long lp_factorizations = 0;
   long lp_fill_nnz = 0;
@@ -102,6 +110,39 @@ std::unique_ptr<sched::Scheduler> make_ip() {
   return std::make_unique<sched::IpScheduler>(o);
 }
 
+// FNV-1a fingerprint of the simulated outcome: the makespan's bit pattern,
+// every task completion instant's bit pattern, and the transfer counters.
+// Bit-identical plans hash equal on any host, so CI can compare the
+// 1-thread and multi-thread runs by one number.
+std::uint64_t plan_hash(const sched::BatchRunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_double = [&](double d) {
+    std::uint64_t v;
+    std::memcpy(&v, &d, sizeof v);
+    mix(v);
+  };
+  mix_double(r.batch_time);
+  mix(r.stats.remote_transfers);
+  mix(r.stats.replications);
+  mix(r.stats.evictions);
+  mix(static_cast<std::uint64_t>(r.task_completion_times.size()));
+  for (double t : r.task_completion_times) mix_double(t);
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 wl::Workload bench_workload(std::size_t tasks, std::size_t storage_nodes) {
   wl::SyntheticConfig cfg;
   cfg.num_tasks = tasks;
@@ -150,6 +191,7 @@ void write_json(const char* path, const std::vector<Row>& rows,
     j.field("planning_seconds", r.planning_seconds);
     j.field("makespan_seconds", r.makespan_seconds);
     j.field("speedup_vs_1t", r.speedup_vs_1t, 3);
+    j.field("plan_hash", hash_hex(r.plan_hash));
     j.field("bit_identical", r.bit_identical);
     if (r.scheduler == "IP") {
       j.field("lp_factorizations", r.lp_factorizations);
@@ -185,16 +227,46 @@ int main(int argc, char** argv) {
   const char* out_path = args.value("--out", "BENCH_sched.json");
   const double max_ip_seconds =
       args.number("--max-ip-seconds", 0.0);  // 0 = no ceiling
+  // Require at least one scheduler to reach this planning speedup at some
+  // thread count > 1 (0 = don't check). CI's multi-core smoke passes 1.2;
+  // single-core hosts should leave it off — there is no parallelism to win.
+  const double min_speedup = args.number("--min-speedup", 0.0);
+  const char* thread_arg = args.value("--threads", "");
   args.reject_unknown(
-      "perf_makespan [--smoke] [--out <path>] [--max-ip-seconds <s>]");
+      "perf_makespan [--smoke] [--out <path>] [--max-ip-seconds <s>] "
+      "[--min-speedup <x>] [--threads <t1,t2,...>]");
 
   const std::size_t compute_nodes = smoke ? 8 : 32;
   const std::size_t storage_nodes = 4;
   const std::vector<std::size_t> sizes =
       smoke ? std::vector<std::size_t>{32, 64}
             : std::vector<std::size_t>{64, 128, 256, 512};
-  std::vector<std::size_t> threads = smoke ? std::vector<std::size_t>{1, 2}
-                                           : std::vector<std::size_t>{1, 2, 4, 8};
+  std::vector<std::size_t> threads =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+  if (*thread_arg != '\0') {
+    // "--threads 1,4" -> {1, 4}; the first entry is the speedup baseline.
+    threads.clear();
+    std::string s = thread_arg;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+      const std::size_t comma = s.find(',', pos);
+      const std::string tok =
+          s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      if (!tok.empty()) {
+        const long v = std::strtol(tok.c_str(), nullptr, 10);
+        if (v <= 0) {
+          std::fprintf(stderr, "perf_makespan: bad --threads entry '%s'\n",
+                       tok.c_str());
+          return 2;
+        }
+        threads.push_back(static_cast<std::size_t>(v));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (threads.empty()) threads.push_back(1);
+  }
 
   const std::vector<SchedulerSpec> specs = {
       {"MinMin-exact", static_cast<std::size_t>(-1), &make_minmin_exact},
@@ -204,9 +276,11 @@ int main(int argc, char** argv) {
       {"IP", 256, &make_ip},
   };
 
-  const sim::ClusterConfig cluster = bench_cluster(compute_nodes, storage_nodes);
+  const sim::ClusterConfig cluster =
+      bench_cluster(compute_nodes, storage_nodes);
 
-  std::printf("perf_makespan: %zu compute nodes, thread sweep {", compute_nodes);
+  std::printf("perf_makespan: %zu compute nodes, thread sweep {",
+              compute_nodes);
   for (std::size_t t : threads) std::printf(" %zu", t);
   std::printf(" }%s\n\n", smoke ? " (smoke)" : "");
   std::printf("%-16s %6s %8s %12s %12s %8s %5s\n", "scheduler", "tasks",
@@ -218,12 +292,12 @@ int main(int argc, char** argv) {
       if (tasks > spec.max_tasks) continue;
       const wl::Workload w = bench_workload(tasks, storage_nodes);
       double base_planning = 0.0;
-      double base_makespan = 0.0;
-      std::size_t base_transfers = 0;
+      std::uint64_t base_hash = 0;
       for (std::size_t t : threads) {
-        ThreadPool::set_global_threads(t);
+        WsRuntime::set_global_threads(t);
         auto scheduler = spec.make();
-        const sched::BatchRunResult r = sched::run_batch(*scheduler, w, cluster);
+        const sched::BatchRunResult r =
+            sched::run_batch(*scheduler, w, cluster);
         if (!r.ok()) {
           std::fprintf(stderr, "perf_makespan: %s failed: %s\n",
                        spec.label.c_str(), r.error.c_str());
@@ -242,18 +316,18 @@ int main(int argc, char** argv) {
         row.lp_bound_flips = r.stats.lp_bound_flips;
         row.lp_degenerate_pivots = r.stats.lp_degenerate_pivots;
         row.mip_nodes = r.stats.mip_nodes;
+        row.plan_hash = plan_hash(r);
         if (t == threads.front()) {
           base_planning = r.scheduling_seconds;
-          base_makespan = r.batch_time;
-          base_transfers = r.stats.remote_transfers;
+          base_hash = row.plan_hash;
         }
         row.speedup_vs_1t =
             r.scheduling_seconds > 0.0 ? base_planning / r.scheduling_seconds
                                        : 1.0;
-        // The determinism contract: same plans => bit-equal simulated
-        // makespan and identical transfer counts at every thread count.
-        row.bit_identical = r.batch_time == base_makespan &&
-                            r.stats.remote_transfers == base_transfers;
+        // The determinism contract: same plans => the same outcome
+        // fingerprint (makespan bits, every completion instant, transfer
+        // counters) at every thread count.
+        row.bit_identical = row.plan_hash == base_hash;
         std::printf("%-16s %6zu %8zu %12.4f %12.2f %7.2fx %5s\n",
                     row.scheduler.c_str(), row.tasks, row.threads,
                     row.planning_seconds, row.makespan_seconds,
@@ -268,7 +342,7 @@ int main(int argc, char** argv) {
   // Every scheduler plans through sim::Topology, so skewed disk / NIC / CPU
   // rates change both the plans and the simulated outcome; the homogeneous
   // (skew 0) cell doubles as a bit-identity anchor against the main grid.
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
   const std::size_t hetero_tasks = smoke ? 64 : 256;
   const wl::Workload hw = bench_workload(hetero_tasks, storage_nodes);
   const std::vector<double> skews =
@@ -327,6 +401,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "perf_makespan: plans diverged across thread counts!\n");
     return 1;
+  }
+
+  // CI multi-core smoke: at least one scheduler must have turned extra
+  // threads into real planning speedup (plans are already known identical
+  // from the hash check above, so this certifies the win is free).
+  if (min_speedup > 0.0) {
+    double best = 0.0;
+    std::string best_label = "none";
+    for (const Row& r : rows)
+      if (r.threads > 1 && r.speedup_vs_1t > best) {
+        best = r.speedup_vs_1t;
+        best_label = r.scheduler;
+      }
+    std::printf("best multi-thread planning speedup: %.2fx (%s)\n", best,
+                best_label.c_str());
+    if (best < min_speedup) {
+      std::fprintf(stderr,
+                   "perf_makespan: best speedup %.2fx is under the "
+                   "--min-speedup floor of %.2fx\n",
+                   best, min_speedup);
+      return 1;
+    }
   }
 
   // CI perf smoke: the IP scheduler's planning loop must stay under the

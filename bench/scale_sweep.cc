@@ -14,15 +14,18 @@
 // at the 8-node / 1k-task corner for reference.
 //
 //   scale_sweep [--smoke] [--out <path>] [--max-point-seconds <s>]
-//               [--max-rss-mb <mb>]
+//               [--max-rss-mb <mb>] [--threads <t1,t2,...>]
 //
 // --smoke shrinks the grid for CI ({8, 64} nodes x 1k tasks, no IP);
 // --max-point-seconds / --max-rss-mb turn the sweep into an acceptance
 // gate: any point whose planning time or the process's peak RSS exceeds
-// the ceiling fails the run.
+// the ceiling fails the run. --threads re-runs every point at each listed
+// work-stealing thread count and adds a speedup_vs_1t column per row (the
+// first listed count is the baseline).
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +37,7 @@
 #include "sched/job_data_present.h"
 #include "sched/minmin.h"
 #include "sim/cluster.h"
+#include "util/ws_runtime.h"
 #include "workload/synthetic.h"
 
 namespace {
@@ -50,11 +54,39 @@ struct Row {
   std::size_t nodes = 0;
   std::size_t tasks = 0;
   std::size_t files = 0;  // distinct files the batch draws
+  std::size_t threads = 0;
   double planning_seconds = 0.0;
   double wall_seconds = 0.0;  // planning + simulated execution
   double makespan_seconds = 0.0;
+  double speedup_vs_1t = 1.0;  // vs the first --threads entry at this point
   double peak_rss_mb = 0.0;  // process high-water mark at row end
 };
+
+// "--threads 1,2,4" -> {1, 2, 4}; empty/absent -> {0} (the runtime default,
+// no speedup comparison).
+std::vector<std::size_t> parse_thread_grid(const char* arg) {
+  std::vector<std::size_t> grid;
+  std::string s = arg == nullptr ? "" : arg;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v <= 0) {
+        std::fprintf(stderr, "scale_sweep: bad --threads entry '%s'\n",
+                     tok.c_str());
+        std::exit(2);
+      }
+      grid.push_back(static_cast<std::size_t>(v));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (grid.empty()) grid.push_back(0);
+  return grid;
+}
 
 struct SchedulerSpec {
   std::string label;
@@ -114,9 +146,11 @@ int main(int argc, char** argv) {
   const char* out_path = args.value("--out", "BENCH_scale.json");
   const double max_point_seconds = args.number("--max-point-seconds", 0.0);
   const double max_rss_mb = args.number("--max-rss-mb", 0.0);
+  const std::vector<std::size_t> thread_grid =
+      parse_thread_grid(args.value("--threads", ""));
   args.reject_unknown(
       "scale_sweep [--smoke] [--out <path>] [--max-point-seconds <s>] "
-      "[--max-rss-mb <mb>]");
+      "[--max-rss-mb <mb>] [--threads <t1,t2,...>]");
 
   const std::vector<std::size_t> node_grid =
       smoke ? std::vector<std::size_t>{8, 64}
@@ -137,11 +171,13 @@ int main(int argc, char** argv) {
       {"IP", 8, 1000, &make_ip},
   };
 
-  std::printf("scale_sweep: %zu-file universe%s\n", universe,
+  std::printf("scale_sweep: %zu-file universe%s, threads {", universe,
               smoke ? " (smoke)" : "");
-  std::printf("%-16s %6s %7s %8s %12s %10s %12s %10s\n", "scheduler", "nodes",
-              "tasks", "files", "plan [s]", "wall [s]", "makespan [s]",
-              "rss [MB]");
+  for (std::size_t t : thread_grid) std::printf(" %zu", t);
+  std::printf(" }\n");
+  std::printf("%-16s %6s %7s %8s %4s %12s %10s %12s %8s %10s\n", "scheduler",
+              "nodes", "tasks", "files", "thr", "plan [s]", "wall [s]",
+              "makespan [s]", "speedup", "rss [MB]");
 
   std::vector<Row> rows;
   bool ceilings_ok = true;
@@ -164,47 +200,59 @@ int main(int argc, char** argv) {
 
       for (const auto& spec : specs) {
         if (nodes > spec.max_nodes || tasks > spec.max_tasks) continue;
-        auto scheduler = spec.make();
-        const Clock::time_point t0 = Clock::now();
-        const sched::BatchRunResult r = sched::run_batch(*scheduler, w, cluster);
-        if (!r.ok()) {
-          std::fprintf(stderr, "scale_sweep: %s at %zu nodes / %zu tasks "
-                       "failed: %s\n",
-                       spec.label.c_str(), nodes, tasks, r.error.c_str());
-          return 1;
+        double base_planning = 0.0;
+        for (std::size_t want_threads : thread_grid) {
+          WsRuntime::set_global_threads(want_threads);
+          auto scheduler = spec.make();
+          const Clock::time_point t0 = Clock::now();
+          const sched::BatchRunResult r =
+              sched::run_batch(*scheduler, w, cluster);
+          if (!r.ok()) {
+            std::fprintf(stderr, "scale_sweep: %s at %zu nodes / %zu tasks "
+                         "failed: %s\n",
+                         spec.label.c_str(), nodes, tasks, r.error.c_str());
+            return 1;
+          }
+          Row row;
+          row.scheduler = spec.label;
+          row.nodes = nodes;
+          row.tasks = tasks;
+          row.files = w.num_files();
+          row.threads = r.planning_threads;
+          row.planning_seconds = r.scheduling_seconds;
+          row.wall_seconds = seconds_since(t0);
+          row.makespan_seconds = r.batch_time;
+          if (want_threads == thread_grid.front())
+            base_planning = r.scheduling_seconds;
+          row.speedup_vs_1t = r.scheduling_seconds > 0.0
+                                  ? base_planning / r.scheduling_seconds
+                                  : 1.0;
+          row.peak_rss_mb = bench::peak_rss_mb();
+          std::printf(
+              "%-16s %6zu %7zu %8zu %4zu %12.3f %10.2f %12.1f %7.2fx %10.1f\n",
+              row.scheduler.c_str(), row.nodes, row.tasks, row.files,
+              row.threads, row.planning_seconds, row.wall_seconds,
+              row.makespan_seconds, row.speedup_vs_1t, row.peak_rss_mb);
+          std::fflush(stdout);
+          if (max_point_seconds > 0.0 &&
+              row.planning_seconds > max_point_seconds) {
+            std::fprintf(stderr,
+                         "scale_sweep: %s at %zu nodes / %zu tasks planned in "
+                         "%.3f s, over the --max-point-seconds ceiling %.3f\n",
+                         row.scheduler.c_str(), nodes, tasks,
+                         row.planning_seconds, max_point_seconds);
+            ceilings_ok = false;
+          }
+          if (max_rss_mb > 0.0 && row.peak_rss_mb > max_rss_mb) {
+            std::fprintf(stderr,
+                         "scale_sweep: peak RSS %.1f MB after %s at %zu nodes "
+                         "/ %zu tasks, over the --max-rss-mb ceiling %.1f\n",
+                         row.peak_rss_mb, row.scheduler.c_str(), nodes, tasks,
+                         max_rss_mb);
+            ceilings_ok = false;
+          }
+          rows.push_back(std::move(row));
         }
-        Row row;
-        row.scheduler = spec.label;
-        row.nodes = nodes;
-        row.tasks = tasks;
-        row.files = w.num_files();
-        row.planning_seconds = r.scheduling_seconds;
-        row.wall_seconds = seconds_since(t0);
-        row.makespan_seconds = r.batch_time;
-        row.peak_rss_mb = bench::peak_rss_mb();
-        std::printf("%-16s %6zu %7zu %8zu %12.3f %10.2f %12.1f %10.1f\n",
-                    row.scheduler.c_str(), row.nodes, row.tasks, row.files,
-                    row.planning_seconds, row.wall_seconds,
-                    row.makespan_seconds, row.peak_rss_mb);
-        std::fflush(stdout);
-        if (max_point_seconds > 0.0 &&
-            row.planning_seconds > max_point_seconds) {
-          std::fprintf(stderr,
-                       "scale_sweep: %s at %zu nodes / %zu tasks planned in "
-                       "%.3f s, over the --max-point-seconds ceiling %.3f\n",
-                       row.scheduler.c_str(), nodes, tasks,
-                       row.planning_seconds, max_point_seconds);
-          ceilings_ok = false;
-        }
-        if (max_rss_mb > 0.0 && row.peak_rss_mb > max_rss_mb) {
-          std::fprintf(stderr,
-                       "scale_sweep: peak RSS %.1f MB after %s at %zu nodes "
-                       "/ %zu tasks, over the --max-rss-mb ceiling %.1f\n",
-                       row.peak_rss_mb, row.scheduler.c_str(), nodes, tasks,
-                       max_rss_mb);
-          ceilings_ok = false;
-        }
-        rows.push_back(std::move(row));
       }
     }
   }
@@ -227,7 +275,9 @@ int main(int argc, char** argv) {
     j.field("nodes", r.nodes);
     j.field("tasks", r.tasks);
     j.field("files", r.files);
+    j.field("threads", r.threads);
     j.field("planning_seconds", r.planning_seconds, 3);
+    j.field("speedup_vs_1t", r.speedup_vs_1t, 3);
     j.field("wall_seconds", r.wall_seconds, 2);
     j.field("makespan_seconds", r.makespan_seconds, 1);
     j.field("peak_rss_mb", r.peak_rss_mb, 1);

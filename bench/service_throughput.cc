@@ -30,7 +30,7 @@
 #include "service/catalog.h"
 #include "service/service.h"
 #include "sim/cluster.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 
 namespace {
 
@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   const char* out_path = args.value("--out", "BENCH_service.json");
   args.reject_unknown("service_throughput [--smoke] [--out <path>]");
 
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
 
   const std::size_t compute_nodes = smoke ? 4 : 8;
   const std::size_t num_batches = smoke ? 4 : 8;

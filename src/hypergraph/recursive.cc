@@ -6,7 +6,7 @@
 
 #include "hypergraph/bisect.h"
 #include "hypergraph/metrics.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 
 namespace bsio::hg {
 
@@ -114,7 +114,7 @@ std::vector<int> partition_kway(const Hypergraph& h, int k,
   // are collected in job order, and leaves (k == 1) are finalized inline.
   std::vector<Job> level;
   level.push_back(std::move(root));
-  ThreadPool& pool = ThreadPool::global();
+  WsRuntime& pool = WsRuntime::global();
   while (!level.empty()) {
     std::vector<Job> splittable;
     for (Job& job : level) {

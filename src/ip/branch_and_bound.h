@@ -57,6 +57,20 @@ struct MipOptions {
   // exists, so it can never cause kNoSolution; with a seeded incumbent it
   // bounds how long B&B polishes a heuristic plan.
   long stall_node_limit = 0;
+  // Best-bound only: solve up to this many open nodes per wave concurrently
+  // on the global work-stealing runtime (0 = the historical sequential node
+  // loop). Each wave pops the best nodes in (bound, seq) order, workers
+  // evaluate their LPs as pure functions of the node (canonical parent-basis
+  // restore), and results are committed sequentially in slot order —
+  // pruning, pseudo-cost updates, incumbents, and children replay exactly
+  // as if the wave had been explored one node at a time. The wave width
+  // (not the thread count) defines the search, so MipResult is bit-identical
+  // at any thread count and steal schedule whenever the time limit does not
+  // bind. Workers share the incumbent through an epoch-published cutoff
+  // (refreshed each wave, tightened by CAS when a worker's LP comes back
+  // integral); a node skipped on a stale cutoff but surviving to commit is
+  // re-solved inline, so over-eager skips cost time, never determinism.
+  std::size_t parallel_wave = 0;
   lp::SimplexOptions simplex;
 };
 

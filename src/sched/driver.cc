@@ -5,7 +5,7 @@
 
 #include "util/check.h"
 #include "util/logging.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 #include "util/timer.h"
 
 namespace bsio::sched {
@@ -23,7 +23,16 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                          const BatchRunOptions& options) {
   BatchRunResult result;
   result.scheduler = scheduler.name();
-  result.planning_threads = ThreadPool::global().num_threads();
+
+  // A malformed BSIO_THREADS is user input, not an internal bug: surface
+  // the parse error here instead of aborting inside the runtime the first
+  // time a planner sweep touches it.
+  if (const Status v = WsRuntime::validate_env(); !v.ok()) {
+    result.error = v.error().message;
+    result.tasks_stranded = workload.num_tasks();
+    return result;
+  }
+  result.planning_threads = WsRuntime::global().num_threads();
 
   if (const Status v = cluster.validate(); !v.ok()) {
     result.error = v.error().message;

@@ -44,7 +44,7 @@ struct BatchRunResult {
   double batch_time = 0.0;          // simulated makespan (what Figs 3-6a plot)
   double scheduling_seconds = 0.0;  // wall-clock planning time (Fig 6b)
   double per_task_scheduling_ms = 0.0;
-  // Threads the planners' parallel sweeps ran on (ThreadPool::global()).
+  // Threads the planners' parallel sweeps ran on (WsRuntime::global()).
   std::size_t planning_threads = 1;
   std::size_t sub_batches = 0;
   sim::ExecutionStats stats;

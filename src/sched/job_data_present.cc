@@ -6,7 +6,7 @@
 
 #include "sched/cost_model.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 
 namespace bsio::sched {
 
@@ -64,11 +64,11 @@ sim::SubBatchPlan JobDataPresentScheduler::plan_sub_batch(
   // up front (the paper's replacement for [13]'s FIFO; JDP stays a cheap
   // one-pass dynamic scheme, unlike MinMin's quadratic re-evaluation). Each
   // task's candidate-node evaluation is independent and read-only against
-  // ps, so the sweep runs on the thread pool; the per-task min over nodes
+  // ps, so the sweep runs on the work-stealing runtime; the per-task min over nodes
   // and the sort stay in the historical order, keeping plans bit-identical
   // at any thread count. ---
   std::vector<double> ect(pending.size());
-  ThreadPool::global().parallel_for_each(pending.size(), [&](std::size_t i) {
+  WsRuntime::global().parallel_for_each(pending.size(), [&](std::size_t i) {
     double best = std::numeric_limits<double>::infinity();
     for (wl::NodeId n : nodes)
       best = std::min(best, estimate_completion_time(w, topo, ps, pending[i], n));

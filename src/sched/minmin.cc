@@ -9,7 +9,7 @@
 
 #include "sched/cost_model.h"
 #include "util/check.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 
 namespace bsio::sched {
 
@@ -48,7 +48,7 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w, const sim::Topology& topo,
                             const std::vector<wl::TaskId>& pending,
                             const std::vector<wl::NodeId>& nodes,
                             std::size_t stale_retry_budget) {
-  ThreadPool& pool = ThreadPool::global();
+  WsRuntime& pool = WsRuntime::global();
   const std::size_t N = nodes.size();
   sim::SubBatchPlan plan;
   struct Entry {
@@ -137,7 +137,7 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
   if (pending.size() > exact_threshold_)
     return plan_lazy(w, topo, ps_, pending, nodes, stale_retry_budget_);
 
-  ThreadPool& pool = ThreadPool::global();
+  WsRuntime& pool = WsRuntime::global();
   sim::SubBatchPlan plan;
 
   // Unassigned tasks live in a doubly-linked list over pending positions:

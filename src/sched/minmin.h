@@ -8,7 +8,7 @@
 // source for later decisions. The whole batch is planned in one sub-batch;
 // the engine's popularity eviction handles disk pressure.
 //
-// The per-round (task x node) MCT sweep runs on the global ThreadPool; the
+// The per-round (task x node) MCT sweep runs on the global WsRuntime; the
 // argmin fold over the precomputed estimates stays sequential and visits
 // candidates in the historical order, so plans are bit-identical at any
 // thread count.

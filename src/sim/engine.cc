@@ -154,8 +154,7 @@ Status ExecutionEngine::seed_cache(const InitialCacheState& seed) {
 }
 
 ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
-    const SubBatchPlan& plan, wl::FileId file, wl::NodeId dst,
-    double after) const {
+    const SubBatchPlan& plan, wl::FileId file, wl::NodeId dst, double after) {
   const double size = workload_.file_size(file);
 
   auto remote_choice = [&]() {
@@ -166,7 +165,7 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
                    "file home storage node out of range for this cluster");
     c.path = topo_.remote_path(c.src, dst);
     c.duration = size / c.path.bandwidth;
-    std::vector<const Timeline*> tls{&storage_tl_[c.src]};
+    std::vector<Timeline*> tls{&storage_tl_[c.src]};
     for (std::uint32_t l = 0; l < c.path.num_links; ++l)
       tls.push_back(&link_tl_[c.path.links[l]]);
     tls.push_back(&compute_tl_[dst]);
@@ -181,7 +180,7 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
     c.path = topo_.replica_path(j, dst);
     c.duration = size / c.path.bandwidth;
     const double avail = state_.available_at(j, file);
-    std::vector<const Timeline*> tls{&compute_tl_[j]};
+    std::vector<Timeline*> tls{&compute_tl_[j]};
     for (std::uint32_t l = 0; l < c.path.num_links; ++l)
       tls.push_back(&link_tl_[c.path.links[l]]);
     tls.push_back(&compute_tl_[dst]);

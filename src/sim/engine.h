@@ -250,9 +250,10 @@ class ExecutionEngine {
   };
 
   // Best transfer for staging `file` onto `dst` no earlier than `after`,
-  // honouring a fixed staging directive if the plan carries one.
+  // honouring a fixed staging directive if the plan carries one. Non-const
+  // only to let its gap queries resume the timelines' monotone cursors.
   TransferChoice best_transfer(const SubBatchPlan& plan, wl::FileId file,
-                               wl::NodeId dst, double after) const;
+                               wl::NodeId dst, double after);
 
   // Cheap ECT estimate used only to rank a node's pending tasks (and, with
   // speculation on, to compare the assigned node against cached backups).

@@ -8,18 +8,21 @@ namespace {
 constexpr double kEps = 1e-9;
 }
 
-double Timeline::earliest_free(double after, double duration) const {
-  BSIO_DCHECK(duration >= 0.0);
-  double t = after;
+std::size_t Timeline::walk_start_chunk(double after, std::size_t lo) const {
   // First chunk that could interfere: interval ends are ascending across
-  // the whole structure, so binary-search the per-chunk max end, then the
-  // interval within that chunk — O(log n) to the walk's start.
+  // the whole structure, so binary-search the per-chunk max end — O(log n)
+  // (or O(log remaining) when the cursor supplies a tighter lo).
   auto ci = std::upper_bound(
-      chunks_.begin(), chunks_.end(), t,
+      chunks_.begin() + static_cast<std::ptrdiff_t>(lo), chunks_.end(), after,
       [](double v, const Chunk& c) { return v < c.ivs.back().end; });
+  return static_cast<std::size_t>(ci - chunks_.begin());
+}
+
+double Timeline::gap_walk(std::size_t ci, double after, double duration) const {
+  double t = after;
   bool first_chunk = true;
-  for (; ci != chunks_.end(); ++ci, first_chunk = false) {
-    const std::vector<Interval>& ivs = ci->ivs;
+  for (; ci < chunks_.size(); ++ci, first_chunk = false) {
+    const std::vector<Interval>& ivs = chunks_[ci].ivs;
     auto it = first_chunk
                   ? std::upper_bound(
                         ivs.begin(), ivs.end(), t,
@@ -33,6 +36,24 @@ double Timeline::earliest_free(double after, double duration) const {
     }
   }
   return t;
+}
+
+double Timeline::earliest_free(double after, double duration) const {
+  BSIO_DCHECK(duration >= 0.0);
+  return gap_walk(walk_start_chunk(after, 0), after, duration);
+}
+
+double Timeline::earliest_free(double after, double duration) {
+  BSIO_DCHECK(duration >= 0.0);
+  // Ends are ascending, so for a non-decreasing query time the walk-start
+  // chunk can only move forward: resume the binary search there.
+  const std::size_t lo =
+      (cursor_valid_ && after >= cursor_after_) ? cursor_chunk_ : 0;
+  const std::size_t ci = walk_start_chunk(after, lo);
+  cursor_valid_ = true;
+  cursor_chunk_ = ci;
+  cursor_after_ = after;
+  return gap_walk(ci, after, duration);
 }
 
 std::size_t Timeline::chunk_for_start(double start) const {
@@ -60,6 +81,7 @@ void Timeline::maybe_split(std::size_t ci) {
 
 void Timeline::reserve(double start, double duration) {
   if (duration <= 0.0) return;
+  cursor_valid_ = false;
   Interval iv{start, start + duration};
   if (chunks_.empty()) {
     chunks_.emplace_back();
@@ -96,6 +118,7 @@ void Timeline::reserve(double start, double duration) {
 }
 
 void Timeline::release(double start, double end) {
+  cursor_valid_ = false;
   bool found = false;
   if (!chunks_.empty()) {
     const std::size_t ci = chunk_for_start(start);
@@ -116,6 +139,7 @@ void Timeline::release(double start, double end) {
 }
 
 void Timeline::truncate(double start, double new_end) {
+  cursor_valid_ = false;
   bool found = false;
   if (!chunks_.empty()) {
     const std::size_t ci = chunk_for_start(start);
@@ -173,25 +197,42 @@ void Timeline::validate() const {
   BSIO_CHECK(count == size_);
 }
 
-double earliest_common_free(const std::vector<const Timeline*>& timelines,
-                            double after, double duration) {
+namespace {
+
+// Shared fixed-point iteration: each round queries every timeline against
+// the SAME base t and restarts from the max candidate — when endpoint
+// calendars are dense this avoids the pathological re-walks of advancing t
+// mid-pass (each timeline's gap walk restarts from the furthest conflict,
+// not from a stale cursor). earliest_free is monotone in `after`, so the
+// max candidate never overshoots the least common fixed point: the result
+// is bit-identical to the sequential-advance iteration.
+template <typename TimelinePtr>
+double common_free_fixed_point(const std::vector<TimelinePtr>& timelines,
+                               double after, double duration) {
   double t = after;
-  // Each round queries every timeline against the SAME base t and restarts
-  // from the max candidate — when endpoint calendars are dense this avoids
-  // the pathological re-walks of advancing t mid-pass (each timeline's gap
-  // walk restarts from the furthest conflict, not from a stale cursor).
-  // earliest_free is monotone in `after`, so the max candidate never
-  // overshoots the least common fixed point: the result is bit-identical
-  // to the sequential-advance iteration.
   for (;;) {
     double best = t;
-    for (const Timeline* tl : timelines) {
+    for (TimelinePtr tl : timelines) {
       if (tl == nullptr) continue;
       best = std::max(best, tl->earliest_free(t, duration));
     }
     if (best == t) return t;
     t = best;
   }
+}
+
+}  // namespace
+
+double earliest_common_free(const std::vector<const Timeline*>& timelines,
+                            double after, double duration) {
+  return common_free_fixed_point(timelines, after, duration);
+}
+
+double earliest_common_free(const std::vector<Timeline*>& timelines,
+                            double after, double duration) {
+  // t is non-decreasing across rounds, so every probe here resumes the
+  // timeline's monotone cursor.
+  return common_free_fixed_point(timelines, after, duration);
 }
 
 }  // namespace bsio::sim

@@ -33,6 +33,16 @@ class Timeline {
   // Earliest t >= after such that [t, t + duration) is free.
   double earliest_free(double after, double duration) const;
 
+  // Same query with a monotone cursor: the engine's placement loops and
+  // earliest_common_free's fixed-point rounds probe one timeline with
+  // non-decreasing `after` between mutations, so the start-chunk binary
+  // search can resume from the previous query's chunk instead of the full
+  // range. A backward query or any mutation resets the cursor; results are
+  // bit-identical to the const overload (same walk, narrower search
+  // window) — pinned by tests/timeline_property_test.cc, whose random
+  // query mix exercises both resumed and reset cursors.
+  double earliest_free(double after, double duration);
+
   // Reserves [start, start + duration); the slot must be free.
   void reserve(double start, double duration);
 
@@ -64,6 +74,7 @@ class Timeline {
   void clear() {
     chunks_.clear();
     size_ = 0;
+    cursor_valid_ = false;
   }
 
   // Invariant check: sorted, non-overlapping, positive-length intervals,
@@ -84,16 +95,35 @@ class Timeline {
   // chunk whose first start is <= start), clamped to a valid index.
   std::size_t chunk_for_start(double start) const;
 
+  // First chunk whose max end exceeds `after` — where the gap walk starts —
+  // searched within [lo, chunks_.size()).
+  std::size_t walk_start_chunk(double after, std::size_t lo) const;
+
+  // The historical gap walk from chunk `ci` onward.
+  double gap_walk(std::size_t ci, double after, double duration) const;
+
   // Splits chunks_[ci] in half when it hit capacity.
   void maybe_split(std::size_t ci);
 
   std::vector<Chunk> chunks_;
   std::size_t size_ = 0;
+
+  // Monotone-query cursor (non-const earliest_free): the walk-start chunk
+  // and query time of the previous query. Invalidated by every mutation.
+  bool cursor_valid_ = false;
+  std::size_t cursor_chunk_ = 0;
+  double cursor_after_ = 0.0;
 };
 
 // Earliest t >= after such that [t, t + duration) is simultaneously free on
 // every timeline. Pointers may repeat; null entries are ignored.
 double earliest_common_free(const std::vector<const Timeline*>& timelines,
+                            double after, double duration);
+
+// Mutable-timeline overload: the fixed-point rounds query each timeline
+// with non-decreasing t, so every probe resumes that timeline's monotone
+// cursor. Bit-identical to the const overload.
+double earliest_common_free(const std::vector<Timeline*>& timelines,
                             double after, double duration);
 
 }  // namespace bsio::sim

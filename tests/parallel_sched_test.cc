@@ -1,4 +1,4 @@
-// Tests for the parallel scheduling core: the ThreadPool determinism
+// Tests for the parallel scheduling core: the WsRuntime determinism
 // contract, the O(1) replica-presence index, the exec-time scratch, the
 // O(1)-removal exact MinMin loop (against a reimplementation of the
 // historical erase-based path), lazy-vs-exact MinMin equivalence, and
@@ -22,7 +22,7 @@
 #include "sim/engine.h"
 #include "sim/topology.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 #include "workload/synthetic.h"
 
 namespace bsio::sched {
@@ -68,10 +68,10 @@ bool plans_equal(const sim::SubBatchPlan& a, const sim::SubBatchPlan& b) {
   return a.prefetches == b.prefetches;
 }
 
-// ---------------------------------------------------------------- ThreadPool
+// ---------------------------------------------------------------- WsRuntime
 
-TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
-  ThreadPool pool(4);
+TEST(WsRuntime, CoversEveryIndexExactlyOnce) {
+  WsRuntime pool(4);
   EXPECT_EQ(pool.num_threads(), 4u);
   for (std::size_t n : {0u, 1u, 3u, 7u, 64u, 1000u}) {
     std::vector<std::atomic<int>> hits(n);
@@ -81,8 +81,8 @@ TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
   }
 }
 
-TEST(ThreadPool, SingleThreadPoolRunsInline) {
-  ThreadPool pool(1);
+TEST(WsRuntime, SingleWsRuntimeRunsInline) {
+  WsRuntime pool(1);
   EXPECT_EQ(pool.num_threads(), 1u);
   std::vector<int> out(100, 0);
   pool.parallel_for_each(out.size(), [&](std::size_t i) {
@@ -92,8 +92,8 @@ TEST(ThreadPool, SingleThreadPoolRunsInline) {
     EXPECT_EQ(out[i], static_cast<int>(i) * 3);
 }
 
-TEST(ThreadPool, NestedParallelForDegradesToInline) {
-  ThreadPool pool(4);
+TEST(WsRuntime, NestedParallelForDegradesToInline) {
+  WsRuntime pool(4);
   const std::size_t n = 32, m = 16;
   std::vector<int> out(n * m, 0);
   pool.parallel_for_each(n, [&](std::size_t i) {
@@ -105,8 +105,8 @@ TEST(ThreadPool, NestedParallelForDegradesToInline) {
     EXPECT_EQ(out[k], static_cast<int>(k));
 }
 
-TEST(ThreadPool, ReusableAcrossManyLoops) {
-  ThreadPool pool(3);
+TEST(WsRuntime, ReusableAcrossManyLoops) {
+  WsRuntime pool(3);
   std::vector<std::size_t> acc(64, 0);
   for (int round = 0; round < 200; ++round)
     pool.parallel_for_each(acc.size(), [&](std::size_t i) { ++acc[i]; });
@@ -262,7 +262,7 @@ sim::SubBatchPlan legacy_exact_minmin(const wl::Workload& w,
 }
 
 TEST(MinMin, ExactPathMatchesLegacyEraseReference) {
-  ThreadPool::set_global_threads(2);
+  WsRuntime::set_global_threads(2);
   for (std::uint64_t seed : {1u, 5u, 9u, 42u}) {
     const wl::Workload w = test_workload(36, seed);
     const sim::ClusterConfig c = test_cluster(4);
@@ -278,7 +278,7 @@ TEST(MinMin, ExactPathMatchesLegacyEraseReference) {
 }
 
 TEST(MinMin, LazyHeapMatchesExactOnDisjointWorkloads) {
-  ThreadPool::set_global_threads(2);
+  WsRuntime::set_global_threads(2);
   // With no file sharing, committing one task never lowers another task's
   // MCT (port readies only grow), so the lazy heap's stale-check converges
   // on exactly the assignment the full rescan picks: plans must be equal.
@@ -297,7 +297,7 @@ TEST(MinMin, LazyHeapMatchesExactOnDisjointWorkloads) {
 }
 
 TEST(MinMin, LazyHeapNearExactOnSharedWorkloads) {
-  ThreadPool::set_global_threads(2);
+  WsRuntime::set_global_threads(2);
   // With batch-shared files a committed replica can *lower* other tasks'
   // MCTs, which the lazy heap's grow-only staleness check cannot see; the
   // commit order (and occasionally an assignment) may then differ from the
@@ -321,7 +321,7 @@ TEST(MinMin, LazyHeapNearExactOnSharedWorkloads) {
 }
 
 TEST(MinMin, BoundedStalenessNearUnbounded) {
-  ThreadPool::set_global_threads(2);
+  WsRuntime::set_global_threads(2);
   // A finite stale-retry budget truncates the refresh cascade between
   // commits (the quadratic term of the scale regime: every commit perturbs
   // the shared ports, invalidating every competing task's cached key). The
@@ -360,8 +360,8 @@ void check_bit_identity(MakeScheduler make, const wl::Workload& w,
   std::size_t base_transfers = 0;
   sim::SubBatchPlan base_plan;
   bool have_base = false;
-  for (std::size_t t : {1u, 2u, 8u}) {
-    ThreadPool::set_global_threads(t);
+  for (std::size_t t : {1u, 2u, 4u, 8u}) {
+    WsRuntime::set_global_threads(t);
 
     // Whole-batch outcome.
     auto s1 = make();
@@ -386,7 +386,7 @@ void check_bit_identity(MakeScheduler make, const wl::Workload& w,
       EXPECT_TRUE(plans_equal(plan, base_plan)) << "threads=" << t;
     }
   }
-  ThreadPool::set_global_threads(0);  // restore default
+  WsRuntime::set_global_threads(0);  // restore default
 }
 
 TEST(ParallelBitIdentity, MinMinExact) {
@@ -414,6 +414,49 @@ TEST(ParallelBitIdentity, JobDataPresent) {
 TEST(ParallelBitIdentity, BiPartition) {
   check_bit_identity([] { return std::make_unique<BiPartitionScheduler>(); },
                      test_workload(40, 3), test_cluster(4));
+}
+
+TEST(ParallelBitIdentity, BiPartitionPlanAllSubBatches) {
+  // Limited disk forces BINW to split the batch; the plan-all mode then
+  // level-2-maps every sub-batch concurrently and serves the stash across
+  // rounds — the whole multi-round outcome must be thread-count invariant.
+  const wl::Workload w = test_workload(40, 3);
+  sim::ClusterConfig c = test_cluster(4);
+  double unique_bytes = 0.0;
+  for (wl::FileId f = 0; f < w.num_files(); ++f)
+    unique_bytes += w.file_size(f);
+  c.disk_capacity = 0.12 * unique_bytes;
+  check_bit_identity(
+      [] {
+        BiPartitionOptions o;
+        o.plan_all_sub_batches = true;
+        return std::make_unique<BiPartitionScheduler>(o);
+      },
+      w, c);
+}
+
+TEST(BiPartition, PlanAllSubBatchesDrainsTheBatch) {
+  // The stashed sub-batches must cover the whole batch: every task executes
+  // exactly once, with or without the precomputed-stash mode.
+  for (std::uint64_t seed : {3u, 11u}) {
+    const wl::Workload w = test_workload(40, seed);
+    sim::ClusterConfig c = test_cluster(4);
+    double unique_bytes = 0.0;
+    for (wl::FileId f = 0; f < w.num_files(); ++f)
+      unique_bytes += w.file_size(f);
+    c.disk_capacity = 0.12 * unique_bytes;
+
+    BiPartitionOptions all;
+    all.plan_all_sub_batches = true;
+    BiPartitionScheduler with_stash(all);
+    BiPartitionScheduler without;
+    const BatchRunResult ra = run_batch(with_stash, w, c);
+    const BatchRunResult rb = run_batch(without, w, c);
+    ASSERT_TRUE(ra.ok()) << ra.error;
+    ASSERT_TRUE(rb.ok()) << rb.error;
+    EXPECT_EQ(ra.stats.tasks_executed, w.num_tasks());
+    EXPECT_EQ(rb.stats.tasks_executed, w.num_tasks());
+  }
 }
 
 TEST(ParallelBitIdentity, Ip) {

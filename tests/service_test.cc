@@ -29,7 +29,7 @@
 #include "service/service.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 
 namespace bsio {
 namespace {
@@ -154,7 +154,7 @@ struct DifferentialFixture {
 };
 
 void expect_first_plan_identity(const sim::ClusterConfig& c) {
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
   DifferentialFixture fx;
   for (const auto& spec : kSchedulers) {
     SCOPED_TRACE(spec.name);
@@ -197,7 +197,7 @@ TEST(WarmStartDifferential, FirstPlanBitIdenticalLimitedDisk) {
 // run_batch's warm path must be exactly "seed, then the ordinary loop": a
 // hand-driven seeded loop reproduces its makespan and counters bit for bit.
 TEST(WarmStartDifferential, RunBatchSeedMatchesManualLoop) {
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
   const sim::ClusterConfig c = test_cluster(600.0 * sim::kMB);
   const std::vector<wl::FileInfo> catalog = test_catalog();
   const wl::Workload a =
@@ -554,7 +554,7 @@ TEST(CrossBatchCatalog, CarryFractionEvictsBetweenBatches) {
 // ------------------------------------------------------------ service loop
 
 TEST(ServiceLoop, WarmBeatsColdAndIsDeterministic) {
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
   const std::vector<wl::FileInfo> catalog = test_catalog();
   const sim::ClusterConfig c = test_cluster(600.0 * sim::kMB);
   service::ArrivalConfig acfg;
@@ -600,7 +600,7 @@ TEST(ServiceLoop, WarmBeatsColdAndIsDeterministic) {
 }
 
 TEST(ServiceLoop, BackpressureCountsRejections) {
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
   const std::vector<wl::FileInfo> catalog = test_catalog();
   const sim::ClusterConfig c = test_cluster();
   // Every batch arrives before the first finishes; depth 1 must shed load.
@@ -632,7 +632,7 @@ TEST(ServiceLoop, RejectsUnsortedArrivals) {
 // ------------------------------------------------------- stats-reuse guard
 
 TEST(StatsReuseGuard, IpSchedulerRefusesSecondRunWithoutReset) {
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
   const std::vector<wl::FileInfo> catalog = test_catalog();
   const wl::Workload w =
       service::make_service_batch(catalog, test_batch_cfg(4), 61);

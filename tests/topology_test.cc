@@ -19,7 +19,7 @@
 #include "core/batch_scheduler.h"
 #include "sched/driver.h"
 #include "sim/topology.h"
-#include "util/thread_pool.h"
+#include "util/ws_runtime.h"
 #include "workload/synthetic.h"
 
 namespace bsio {
@@ -121,7 +121,7 @@ TEST(TopologyBitIdentity, HomogeneousGoldensReproduceSeedBits) {
   // The goldens were captured single-threaded; the thread-pool determinism
   // contract makes the count irrelevant, but pinning it keeps this test
   // meaningful even if that contract ever regresses separately.
-  ThreadPool::set_global_threads(1);
+  WsRuntime::set_global_threads(1);
   const wl::Workload w = golden_workload();
   core::RunOptions opts;
   // Deterministic IP truncation: cut by node count, never wall clock.
@@ -162,7 +162,7 @@ TEST(TopologyBitIdentity, HomogeneousGoldensReproduceSeedBits) {
     const sim::SubBatchPlan plan = sched->plan_sub_batch(pending, ctx);
     EXPECT_EQ(plan_hash(plan), row.first_plan_hash);
   }
-  ThreadPool::set_global_threads(0);
+  WsRuntime::set_global_threads(0);
 }
 
 // --------------------------------------------------------- resolve mechanics
