@@ -10,26 +10,45 @@
 // bytes vs remote bytes, and the carried-snapshot footprint.
 //
 //   service_throughput [--smoke] [--out <path>]
+//   service_throughput --stream [--smoke] [--out <path>] [--min-slo <frac>]
 //
 // Exit is non-zero if the warm runs fail the reuse contract for MinMin or
 // BiPartition (zero cross-batch hit bytes, or mean response not strictly
 // below the cold run) — the CI smoke guards the subsystem's reason to
 // exist.
+//
+// --stream runs the rolling-horizon study instead: one MinMin batch is run
+// cold to calibrate the mean batch makespan m, then Poisson arrivals at
+// utilizations {0.5, 0.9, 1.2} (rate = u / m) with two SLO classes
+// (premium: deadline 3m, weight 4; standard: 8m, weight 1) are served
+// twice over the IDENTICAL arrival sequence — by the batch-barrier
+// ServiceLoop (FIFO, warm start; SLO attainment judged post hoc) and by
+// the StreamServiceLoop (incremental MinMin, deadline-aware admission with
+// aging, horizon window m/2). Rows land in BENCH_service.json with p50/p99
+// batch response and SLO attainment per mode. Exit is non-zero when, at
+// u = 0.9, the stream p99 is not strictly below the batch-barrier p99, or
+// stream SLO attainment falls below the barrier's or below --min-slo
+// (default 0.5) — the rolling-horizon subsystem's acceptance gate.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "sched/bipartition.h"
+#include "sched/driver.h"
 #include "sched/ip_scheduler.h"
 #include "sched/job_data_present.h"
 #include "sched/minmin.h"
 #include "service/arrival.h"
 #include "service/catalog.h"
 #include "service/service.h"
+#include "service/stream.h"
 #include "sim/cluster.h"
+#include "util/rng.h"
+#include "util/stats.h"
 #include "util/ws_runtime.h"
 
 namespace {
@@ -82,15 +101,243 @@ struct ServiceRow {
   service::ServiceStats stats;
 };
 
+// One (mode, utilization) row of the rolling-horizon study.
+struct StreamRow {
+  std::string mode;  // "batch_barrier" or "stream"
+  double utilization = 0.0;
+  double rate = 0.0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t shed = 0;
+  std::size_t degraded = 0;
+  double mean_response = 0.0;
+  double p50_response = 0.0;
+  double p99_response = 0.0;
+  double slo_attainment = 0.0;
+  double planning_seconds = 0.0;
+  std::size_t windows = 0;  // horizon windows (stream) / batches (barrier)
+  double completion_seconds = 0.0;
+};
+
+int run_stream_study(bool smoke, const char* out_path, double min_slo) {
+  const std::size_t compute_nodes = smoke ? 4 : 8;
+  const std::size_t num_batches = smoke ? 6 : 12;
+  const std::vector<double> utilizations =
+      smoke ? std::vector<double>{0.9} : std::vector<double>{0.5, 0.9, 1.2};
+
+  service::SharedCatalogConfig cat_cfg;
+  cat_cfg.num_files = smoke ? 128 : 256;
+  cat_cfg.num_storage_nodes = 4;
+  cat_cfg.seed = 11;
+  const std::vector<wl::FileInfo> catalog =
+      service::make_shared_catalog(cat_cfg);
+  service::ServiceBatchConfig batch_cfg;
+  batch_cfg.tasks_per_batch = smoke ? 16 : 32;
+  batch_cfg.files_per_task = 4;
+  batch_cfg.zipf_s = 1.2;
+  const sim::ClusterConfig cluster = service_cluster(compute_nodes);
+
+  // Calibration: one cold MinMin batch fixes the utilization unit m.
+  double m = 0.0;
+  {
+    // Same content seed as arrival 0 of the sweeps below.
+    const wl::Workload probe =
+        service::make_service_batch(catalog, batch_cfg, hash_mix(3 ^ 0));
+    sched::MinMinScheduler mm;
+    const sched::BatchRunResult r =
+        sched::run_batch(mm, probe, cluster, sched::BatchRunOptions{});
+    if (!r.ok()) {
+      std::fprintf(stderr, "service_throughput: calibration failed: %s\n",
+                   r.error.c_str());
+      return 1;
+    }
+    m = r.batch_time;
+  }
+  const std::vector<service::SloClass> slo_classes = {
+      {3.0 * m, 4.0},  // premium
+      {8.0 * m, 1.0},  // standard
+  };
+  std::printf(
+      "service_throughput --stream: %zu compute nodes, %zu batches/run, "
+      "calibrated batch makespan %.2f s%s\n\n",
+      compute_nodes, num_batches, m, smoke ? " (smoke)" : "");
+  std::printf("%-14s %5s %10s %10s %10s %6s %6s\n", "mode", "util", "p50",
+              "p99", "attain", "shed", "degr");
+
+  std::vector<StreamRow> rows;
+  bool acceptance_ok = true;
+  for (double u : utilizations) {
+    service::ArrivalConfig arrival_cfg;
+    arrival_cfg.rate = u / m;
+    arrival_cfg.num_batches = num_batches;
+    arrival_cfg.seed = 3;
+    arrival_cfg.slo_classes = slo_classes;
+    service::BatchArrivalProcess arrivals(catalog, batch_cfg, arrival_cfg);
+
+    double barrier_p99 = 0.0, barrier_att = 0.0;
+    for (const bool stream_mode : {false, true}) {
+      auto gen = arrivals.generate();
+      if (!gen.ok()) {
+        std::fprintf(stderr, "service_throughput: %s\n",
+                     gen.error().message.c_str());
+        return 1;
+      }
+      StreamRow row;
+      row.mode = stream_mode ? "stream" : "batch_barrier";
+      row.utilization = u;
+      row.rate = arrival_cfg.rate;
+      // Both modes judge against the original per-index SLO classes.
+      std::vector<service::SloClass> slo_of(num_batches);
+      for (const service::BatchArrival& a : gen.value())
+        slo_of[a.index] = a.slo;
+
+      if (stream_mode) {
+        sched::MinMinScheduler mm;
+        service::StreamOptions opts;
+        opts.admission.policy = service::AdmissionPolicy::kDeadlineAware;
+        opts.admission.aging_weight = 0.25;
+        opts.horizon.window_seconds = 0.5 * m;
+        service::StreamServiceLoop loop(mm, cluster, catalog, opts);
+        auto run = loop.run(std::move(gen).value());
+        if (!run.ok()) {
+          std::fprintf(stderr, "service_throughput: stream run failed: %s\n",
+                       run.error().message.c_str());
+          return 1;
+        }
+        const service::StreamStats& s = run.value().stats;
+        row.completed = s.batches_completed;
+        row.rejected = s.rejected_batches;
+        row.shed = s.shed_batches;
+        row.degraded = s.degraded_batches;
+        row.mean_response = s.mean_response;
+        row.p50_response = s.p50_response;
+        row.p99_response = s.p99_response;
+        row.slo_attainment = s.slo_attainment;
+        row.planning_seconds = s.total_planning_seconds;
+        row.windows = s.windows_committed;
+        row.completion_seconds = s.completion_time;
+      } else {
+        sched::MinMinScheduler mm;
+        service::ServiceOptions options;  // FIFO, warm start
+        service::ServiceLoop loop(mm, cluster, catalog.size(), options);
+        auto run = loop.run(std::move(gen).value());
+        if (!run.ok()) {
+          std::fprintf(stderr, "service_throughput: barrier run failed: %s\n",
+                       run.error().message.c_str());
+          return 1;
+        }
+        const service::ServiceResult& r = run.value();
+        std::vector<double> responses;
+        std::size_t met = 0;
+        for (const service::BatchServiceMetrics& b : r.batches) {
+          responses.push_back(b.response_time);
+          if (b.response_time <= slo_of[b.index].deadline_seconds) ++met;
+        }
+        row.completed = r.stats.batches_served;
+        row.rejected = r.stats.rejected_batches;
+        row.mean_response = r.stats.mean_response_time;
+        if (!responses.empty()) {
+          row.p50_response = percentile(responses, 50.0);
+          row.p99_response = percentile(responses, 99.0);
+        }
+        // Rejected batches count as missed, same rule as the stream loop.
+        row.slo_attainment =
+            static_cast<double>(met) / static_cast<double>(num_batches);
+        row.planning_seconds = r.stats.total_planning_seconds;
+        row.windows = r.stats.batches_served;
+        row.completion_seconds = r.stats.completion_time;
+      }
+      std::printf("%-14s %5.2f %10.2f %10.2f %9.0f%% %6zu %6zu\n",
+                  row.mode.c_str(), u, row.p50_response, row.p99_response,
+                  100.0 * row.slo_attainment, row.shed, row.degraded);
+      std::fflush(stdout);
+      if (!stream_mode) {
+        barrier_p99 = row.p99_response;
+        barrier_att = row.slo_attainment;
+      } else if (u > 0.85 && u < 0.95) {
+        // The acceptance gate: at ~0.9 utilization the incremental planner
+        // must cut the tail without giving back SLO attainment.
+        if (row.p99_response >= barrier_p99) {
+          std::fprintf(stderr,
+                       "service_throughput: stream p99 %.2f s is not below "
+                       "the batch-barrier p99 %.2f s at u=%.2f\n",
+                       row.p99_response, barrier_p99, u);
+          acceptance_ok = false;
+        }
+        if (row.slo_attainment < barrier_att ||
+            row.slo_attainment < min_slo) {
+          std::fprintf(stderr,
+                       "service_throughput: stream SLO attainment %.2f at "
+                       "u=%.2f below barrier %.2f or floor %.2f\n",
+                       row.slo_attainment, u, barrier_att, min_slo);
+          acceptance_ok = false;
+        }
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  bench::JsonWriter j(out_path);
+  j.begin_object();
+  j.field("bench", "service_throughput_stream");
+  j.begin_object("config");
+  j.field("compute_nodes", compute_nodes);
+  j.field("num_batches", num_batches);
+  j.field("catalog_files", catalog.size());
+  j.field("tasks_per_batch", batch_cfg.tasks_per_batch);
+  j.field("calibrated_makespan_seconds", m);
+  j.field("horizon_window_seconds", 0.5 * m);
+  j.field("min_slo", min_slo, 2);
+  j.field("smoke", smoke);
+  j.end_object();
+  j.field("peak_rss_mb", bench::peak_rss_mb(), 1);
+  j.begin_array("results");
+  for (const StreamRow& r : rows) {
+    j.begin_object();
+    j.field("mode", r.mode);
+    j.field("utilization", r.utilization, 2);
+    j.field("arrival_rate", r.rate, 6);
+    j.field("batches_completed", r.completed);
+    j.field("rejected_batches", r.rejected);
+    j.field("shed_batches", r.shed);
+    j.field("degraded_batches", r.degraded);
+    j.field("mean_response_seconds", r.mean_response);
+    j.field("p50_response_seconds", r.p50_response);
+    j.field("p99_response_seconds", r.p99_response);
+    j.field("slo_attainment", r.slo_attainment, 4);
+    j.field("total_planning_seconds", r.planning_seconds);
+    j.field("windows", r.windows);
+    j.field("completion_seconds", r.completion_seconds);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("\nwrote %s (%zu rows)\n", out_path, rows.size());
+
+  if (!acceptance_ok) {
+    std::fprintf(stderr,
+                 "service_throughput: rolling-horizon acceptance gate "
+                 "failed\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::ParseArgs args(argc, argv);
   const bool smoke = args.has("--smoke");
+  const bool stream = args.has("--stream");
   const char* out_path = args.value("--out", "BENCH_service.json");
-  args.reject_unknown("service_throughput [--smoke] [--out <path>]");
+  const double min_slo = std::atof(args.value("--min-slo", "0.5"));
+  args.reject_unknown(
+      "service_throughput [--stream] [--smoke] [--out <path>] "
+      "[--min-slo <frac>]");
 
   WsRuntime::set_global_threads(1);
+
+  if (stream) return run_stream_study(smoke, out_path, min_slo);
 
   const std::size_t compute_nodes = smoke ? 4 : 8;
   const std::size_t num_batches = smoke ? 4 : 8;

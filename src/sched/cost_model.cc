@@ -132,7 +132,7 @@ PlannerState::PlannerState(const wl::Workload& w, const sim::Topology& topo,
 }
 
 void PlannerState::reset(const wl::Workload& w, const sim::Topology& topo,
-                         const sim::ClusterState& current) {
+                         const sim::ClusterState& current, double origin) {
   const sim::ClusterConfig& c = topo.config();
   node_ready.assign(c.num_compute_nodes, 0.0);
   storage_ready.assign(c.num_storage_nodes, 0.0);
@@ -160,8 +160,13 @@ void PlannerState::reset(const wl::Workload& w, const sim::Topology& topo,
   num_nodes_ = c.num_compute_nodes;
 
   for (wl::FileId f = 0; f < w.num_files(); ++f)
-    for (wl::NodeId n : current.holders(f))
-      add_planned(f, n, current.available_at(n, f));
+    for (wl::NodeId n : current.holders(f)) {
+      double avail = current.available_at(n, f);
+      // Guarded so the origin-0 batch path leaves stamps bit-identical
+      // (no clamp applied to already-relative values).
+      if (origin > 0.0) avail = std::max(0.0, avail - origin);
+      add_planned(f, n, avail);
+    }
 }
 
 void PlannerState::add_planned(wl::FileId f, wl::NodeId n, double avail) {

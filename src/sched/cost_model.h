@@ -96,9 +96,15 @@ struct PlannerState {
                const sim::ClusterState& current);
 
   // Re-initializes against a (possibly different) workload / topology /
-  // cache state, reusing the allocated buffers.
+  // cache state, reusing the allocated buffers. `origin` rebases the cache
+  // snapshot's absolute availability stamps into the planner's relative
+  // clock: a copy available at absolute time a prices as max(0, a - origin).
+  // The streaming service passes its live-window base time here (its engine
+  // stamps availability on the global service clock); the batch path keeps
+  // the default 0, which leaves every stamp verbatim — bit-identical to the
+  // historical reset.
   void reset(const wl::Workload& w, const sim::Topology& topo,
-             const sim::ClusterState& current);
+             const sim::ClusterState& current, double origin = 0.0);
 
   // Records that node n is planned to hold file f from time `avail` on.
   // No-op if already present.

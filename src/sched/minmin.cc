@@ -43,14 +43,12 @@ std::pair<wl::NodeId, double> fold_best_node(
 // Lazy-heap MinMin for large batches. `stale_retry_budget` caps the
 // refresh cascade between commits (see minmin.h); SIZE_MAX reproduces the
 // historical unbounded behavior bit-for-bit.
-sim::SubBatchPlan plan_lazy(const wl::Workload& w, const sim::Topology& topo,
-                            PlannerState& ps,
-                            const std::vector<wl::TaskId>& pending,
-                            const std::vector<wl::NodeId>& nodes,
-                            std::size_t stale_retry_budget) {
+void plan_lazy(const wl::Workload& w, const sim::Topology& topo,
+               PlannerState& ps, const std::vector<wl::TaskId>& pending,
+               const std::vector<wl::NodeId>& nodes,
+               std::size_t stale_retry_budget, sim::SubBatchPlan& plan) {
   WsRuntime& pool = WsRuntime::global();
   const std::size_t N = nodes.size();
-  sim::SubBatchPlan plan;
   struct Entry {
     double ct;
     wl::TaskId task;
@@ -121,24 +119,24 @@ sim::SubBatchPlan plan_lazy(const wl::Workload& w, const sim::Topology& topo,
     retries = 0;
     fresh_valid = false;
   }
-  return plan;
 }
 
 }  // namespace
 
-sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
-    const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
-  const wl::Workload& w = ctx.batch;
-  const sim::Topology& topo = ctx.topology;
-  ps_.reset(w, topo, ctx.engine.state());
-  const std::vector<wl::NodeId>& nodes = ctx.alive_nodes();
+void minmin_plan_into(const wl::Workload& w, const sim::Topology& topo,
+                      PlannerState& ps, const std::vector<wl::TaskId>& pending,
+                      const std::vector<wl::NodeId>& nodes,
+                      std::size_t exact_threshold,
+                      std::size_t stale_retry_budget, sim::SubBatchPlan& plan) {
   BSIO_CHECK_MSG(!nodes.empty(), "MinMin: no compute node is alive");
+  if (pending.empty()) return;
 
-  if (pending.size() > exact_threshold_)
-    return plan_lazy(w, topo, ps_, pending, nodes, stale_retry_budget_);
+  if (pending.size() > exact_threshold) {
+    plan_lazy(w, topo, ps, pending, nodes, stale_retry_budget, plan);
+    return;
+  }
 
   WsRuntime& pool = WsRuntime::global();
-  sim::SubBatchPlan plan;
 
   // Unassigned tasks live in a doubly-linked list over pending positions:
   // removal is O(1) (replacing the old O(T) vector erase) while sweeps and
@@ -171,7 +169,7 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
     pool.parallel_for_each(A, [&](std::size_t a) {
       for (std::size_t j = 0; j < N; ++j)
         ct[a * N + j] =
-            estimate_completion_time(w, topo, ps_, pending[alive[a]], nodes[j]);
+            estimate_completion_time(w, topo, ps, pending[alive[a]], nodes[j]);
     });
 
     // Sequential fold in the historical (task, node) order.
@@ -186,7 +184,7 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
         const bool better =
             first || cand < best_ct - tol ||
             (cand < best_ct + tol &&
-             ps_.node_ready[nodes[j]] < ps_.node_ready[best_node] - 1e-12);
+             ps.node_ready[nodes[j]] < ps.node_ready[best_node] - 1e-12);
         if (better) {
           best_ct = cand;
           best_a = a;
@@ -197,8 +195,8 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
 
     const wl::TaskId task = pending[alive[best_a]];
     CompletionEstimate best_est =
-        estimate_completion(w, topo, ps_, task, best_node);
-    apply_assignment(w, topo, ps_, task, best_node, best_est);
+        estimate_completion(w, topo, ps, task, best_node);
+    apply_assignment(w, topo, ps, task, best_node, best_est);
     plan.tasks.push_back(task);
     plan.assignment[task] = best_node;
 
@@ -206,6 +204,14 @@ sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
     next[prev[idx]] = next[idx];
     prev[next[idx]] = prev[idx];
   }
+}
+
+sim::SubBatchPlan MinMinScheduler::plan_sub_batch(
+    const std::vector<wl::TaskId>& pending, const SchedulerContext& ctx) {
+  ps_.reset(ctx.batch, ctx.topology, ctx.engine.state());
+  sim::SubBatchPlan plan;
+  minmin_plan_into(ctx.batch, ctx.topology, ps_, pending, ctx.alive_nodes(),
+                   exact_threshold_, stale_retry_budget_, plan);
   return plan;
 }
 

@@ -53,10 +53,25 @@ class MinMinScheduler : public Scheduler {
   sim::SubBatchPlan plan_sub_batch(const std::vector<wl::TaskId>& pending,
                                    const SchedulerContext& ctx) override;
 
+  std::size_t exact_threshold() const { return exact_threshold_; }
+  std::size_t stale_retry_budget() const { return stale_retry_budget_; }
+
  private:
   std::size_t exact_threshold_;
   std::size_t stale_retry_budget_;
   PlannerState ps_;  // reused across rounds (epoch-stamped reset)
 };
+
+// The MinMin planning core: plans `pending` against an already-initialised
+// planner state — `ps` is NOT reset here, so callers may pre-load it with
+// live placements before the sweep (the incremental planner's delta
+// insertion replays its uncommitted plan, then inserts only the new
+// arrivals). Commits append to `plan` in commit order. With a freshly reset
+// ps this is bit-identical to MinMinScheduler::plan_sub_batch.
+void minmin_plan_into(const wl::Workload& w, const sim::Topology& topo,
+                      PlannerState& ps, const std::vector<wl::TaskId>& pending,
+                      const std::vector<wl::NodeId>& nodes,
+                      std::size_t exact_threshold,
+                      std::size_t stale_retry_budget, sim::SubBatchPlan& plan);
 
 }  // namespace bsio::sched

@@ -1,14 +1,19 @@
 // Admission queue between the arrival process and the service loop.
 //
-// Arrived batches wait here until the (single) executor frees up. Two
-// dequeue disciplines: FIFO, and shortest-estimated-batch-first (SJF on the
-// planner-side completion estimate, a classic mean-response-time lever).
-// A bounded queue applies backpressure: offers beyond max_queue_depth are
-// rejected with a typed error and counted by the caller.
+// Arrived batches wait here until the executor frees up. Three dequeue
+// disciplines: FIFO, shortest-estimated-batch-first (SJF on the planner-side
+// completion estimate, a classic mean-response-time lever), and
+// deadline-aware (earliest effective deadline first with priority aging, the
+// streaming service's SLO ordering). A bounded queue applies backpressure;
+// what happens to offers beyond max_queue_depth is the overload policy's
+// choice: reject the newcomer (historical behaviour), shed the lowest-value
+// queued batch to make room, or degrade the newcomer to best-effort and
+// admit it past the bound.
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <vector>
 
 #include "sched/cost_model.h"
 #include "service/arrival.h"
@@ -20,17 +25,47 @@ namespace bsio::service {
 enum class AdmissionPolicy {
   kFifo,
   kShortestBatchFirst,  // min estimate_batch_seconds, arrival order on ties
+  // Earliest effective deadline first: key = due - aging * wait, where due
+  // clamps a best-effort (infinite-deadline) batch to arrival +
+  // best_effort_deadline so deadline-less traffic cannot starve. Aging
+  // (aging_weight seconds of key credit per waiting second) pulls old
+  // batches forward across SLO classes.
+  kDeadlineAware,
+};
+
+enum class OverloadPolicy {
+  kReject,  // bounce the offered batch (historical backpressure)
+  // Evict the lowest-value batch — smallest SLO weight, then latest
+  // effective deadline, then latest arrival — among the queued batches and
+  // the offer; the survivor set keeps the bound. Shed batches surface via
+  // take_shed() so the service can count their SLOs as missed.
+  kShedLowestValue,
+  // Admit past the bound, demoting the offer to best-effort (its ordering
+  // deadline clamps to best_effort_deadline, weight drops to the floor);
+  // the batch still reports against its original SLO.
+  kDegrade,
 };
 
 struct AdmissionOptions {
   AdmissionPolicy policy = AdmissionPolicy::kFifo;
-  // Maximum batches waiting (0 = unbounded). Offers to a full queue fail.
+  // Maximum batches waiting (0 = unbounded). Offers beyond the bound go
+  // through the overload policy.
   std::size_t max_queue_depth = 0;
+  OverloadPolicy overload = OverloadPolicy::kReject;
+  // kDeadlineAware: key credit per waiting second (0 = pure EDF).
+  double aging_weight = 0.0;
+  // Effective relative deadline assigned to best-effort batches for
+  // ordering and shed-value purposes.
+  double best_effort_deadline = 1e9;
 };
 
 struct QueuedBatch {
   BatchArrival arrival;
-  double estimated_seconds = 0.0;  // cold-cache planner estimate
+  double estimated_seconds = 0.0;  // cold-cache planner estimate (SJF only)
+  // Effective SLO class used for ordering / shedding — the arrival's own
+  // class unless the overload policy degraded it.
+  SloClass effective_slo;
+  bool degraded = false;
 };
 
 // The planner-side estimate SJF orders by: sum over tasks of the best
@@ -45,20 +80,41 @@ class AdmissionQueue {
  public:
   AdmissionQueue(const sim::ClusterConfig& cluster, AdmissionOptions options);
 
-  // Enqueues an arrived batch; typed error when the bounded queue is full
-  // (the batch is dropped — the service counts the rejection).
+  // Enqueues an arrived batch. Under SJF the completion estimate is priced
+  // ONCE here and memoized on the entry — dequeues never re-price (see
+  // pricing_calls()); the other policies skip pricing entirely. A typed
+  // error means the batch was NOT admitted (bounded queue + kReject, or
+  // kShedLowestValue choosing the offer itself as the victim).
   Status offer(BatchArrival arrival);
 
-  // Dequeues per policy. Requires !empty().
-  QueuedBatch pop();
+  // Dequeues per policy. `now` is the service clock, consumed only by the
+  // deadline-aware aging term. Requires !empty().
+  QueuedBatch pop(double now = 0.0);
+
+  // Batches evicted by kShedLowestValue since the last call. The caller
+  // owns their SLO accounting.
+  std::vector<QueuedBatch> take_shed();
 
   bool empty() const { return queue_.empty(); }
   std::size_t size() const { return queue_.size(); }
 
+  // Times estimate_batch_seconds ran — the memoization contract: exactly
+  // one per admitted batch under SJF, zero under FIFO / deadline-aware,
+  // never incremented by pop().
+  std::size_t pricing_calls() const { return pricing_calls_; }
+  std::size_t degraded_count() const { return degraded_count_; }
+
  private:
+  // Ordering key of a queued batch at service time `now` (smaller = first).
+  double deadline_key(const QueuedBatch& q, double now) const;
+  double effective_due(const QueuedBatch& q) const;
+
   sim::ClusterConfig cluster_;
   AdmissionOptions options_;
   std::deque<QueuedBatch> queue_;
+  std::vector<QueuedBatch> shed_;
+  std::size_t pricing_calls_ = 0;
+  std::size_t degraded_count_ = 0;
 };
 
 }  // namespace bsio::service

@@ -16,10 +16,11 @@ BatchArrivalProcess::BatchArrivalProcess(std::vector<wl::FileInfo> catalog,
       batch_cfg_(batch_cfg),
       cfg_(std::move(cfg)) {}
 
-// (time, tasks_override) pairs; override 0 = use the configured batch size.
-Result<std::vector<std::pair<double, std::size_t>>>
+// Parsed arrival rows; tasks 0 = use the configured batch size, deadline
+// NaN = use the drawn SLO class.
+Result<std::vector<BatchArrivalProcess::ArrivalRow>>
 BatchArrivalProcess::arrival_times() const {
-  std::vector<std::pair<double, std::size_t>> times;
+  std::vector<ArrivalRow> times;
   if (!cfg_.trace_path.empty()) {
     std::ifstream in(cfg_.trace_path);
     if (!in)
@@ -41,16 +42,33 @@ BatchArrivalProcess::arrival_times() const {
         return Err("arrival trace " + cfg_.trace_path + " line " +
                    std::to_string(line_no) +
                    ": arrival times must be non-decreasing");
-      std::size_t tasks = 0;
+      ArrivalRow rec;
+      rec.time = t;
       long n = 0;
       if (row >> n) {
-        if (n <= 0)
+        // A zero gets its own typed error: an arrival carrying
+        // num_tasks == 0 describes an empty batch, which the service
+        // cannot plan or account for.
+        if (n == 0)
+          return Err("arrival trace " + cfg_.trace_path + " line " +
+                     std::to_string(line_no) +
+                     ": arrival carries num_tasks == 0 (empty batches are "
+                     "not admissible)");
+        if (n < 0)
           return Err("arrival trace " + cfg_.trace_path + " line " +
                      std::to_string(line_no) +
                      ": batch size must be positive");
-        tasks = static_cast<std::size_t>(n);
+        rec.tasks = static_cast<std::size_t>(n);
+        double d = 0.0;
+        if (row >> d) {
+          if (!(d > 0.0))
+            return Err("arrival trace " + cfg_.trace_path + " line " +
+                       std::to_string(line_no) +
+                       ": deadline_seconds must be positive");
+          rec.deadline = d;
+        }
       }
-      times.emplace_back(t, tasks);
+      times.push_back(rec);
       prev = t;
     }
     if (times.empty())
@@ -65,7 +83,7 @@ BatchArrivalProcess::arrival_times() const {
   for (std::size_t i = 0; i < cfg_.num_batches; ++i) {
     // Exponential interarrival gap; 1 - u keeps the argument in (0, 1].
     t += -std::log(1.0 - rng.uniform_double()) / cfg_.rate;
-    times.emplace_back(t, 0);
+    times.push_back({t, 0, std::numeric_limits<double>::quiet_NaN()});
   }
   return times;
 }
@@ -77,12 +95,23 @@ Result<std::vector<BatchArrival>> BatchArrivalProcess::generate() const {
   std::vector<BatchArrival> arrivals;
   arrivals.reserve(times.value().size());
   for (std::size_t i = 0; i < times.value().size(); ++i) {
-    const auto& [t, tasks_override] = times.value()[i];
+    const ArrivalRow& row = times.value()[i];
     ServiceBatchConfig cfg = batch_cfg_;
-    if (tasks_override > 0) cfg.tasks_per_batch = tasks_override;
+    if (row.tasks > 0) cfg.tasks_per_batch = row.tasks;
+    if (cfg.tasks_per_batch == 0)
+      return Err("arrival " + std::to_string(i) +
+                 " carries num_tasks == 0 (empty batches are not admissible)");
     BatchArrival a;
-    a.time = t;
+    a.time = row.time;
     a.index = i;
+    // SLO class draw is deterministic in (seed, index), like the batch
+    // content: the arrival source never re-deals the classes.
+    if (!cfg_.slo_classes.empty())
+      a.slo = cfg_.slo_classes[hash_mix(cfg_.seed ^
+                                        (0x534c4fULL ^
+                                         (i * 0x9e3779b97f4a7c15ULL))) %
+                              cfg_.slo_classes.size()];
+    if (!std::isnan(row.deadline)) a.slo.deadline_seconds = row.deadline;
     // Content seed depends on (seed, index) only: swapping the arrival
     // source (Poisson vs trace) changes WHEN batches arrive, never WHAT
     // they contain.

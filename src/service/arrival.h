@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -17,21 +18,37 @@
 
 namespace bsio::service {
 
+// Per-batch service-level objective: the response-time deadline (relative
+// to arrival; infinity = best-effort) and the weight the overload policies
+// value the batch at (shed order, attainment reporting).
+struct SloClass {
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  double weight = 1.0;
+};
+
 struct ArrivalConfig {
   // Mean batch arrival rate, batches per simulated second (Poisson mode).
   double rate = 0.01;
   std::size_t num_batches = 8;
   std::uint64_t seed = 1;
   // Non-empty: read arrivals from this trace instead of sampling. Each
-  // non-comment line is `<arrival_seconds> [num_tasks]`, times
-  // non-decreasing; '#' starts a comment. num_tasks (optional) overrides
-  // ServiceBatchConfig::tasks_per_batch for that batch.
+  // non-comment line is `<arrival_seconds> [num_tasks [deadline_seconds]]`,
+  // times non-decreasing; '#' starts a comment. num_tasks (optional, must
+  // be positive — a zero raises a typed error instead of generating an
+  // empty batch) overrides ServiceBatchConfig::tasks_per_batch for that
+  // batch; deadline_seconds (optional, positive) overrides the drawn SLO
+  // class.
   std::string trace_path;
+  // Non-empty: every batch draws one of these SLO classes, deterministic in
+  // (seed, index) — swapping Poisson for trace arrivals never re-deals the
+  // classes. Empty = every batch is best-effort.
+  std::vector<SloClass> slo_classes;
 };
 
 struct BatchArrival {
   double time = 0.0;      // simulated arrival time, seconds
   std::size_t index = 0;  // 0-based arrival order
+  SloClass slo;
   wl::Workload batch;
 };
 
@@ -48,7 +65,12 @@ class BatchArrivalProcess {
   Result<std::vector<BatchArrival>> generate() const;
 
  private:
-  Result<std::vector<std::pair<double, std::size_t>>> arrival_times() const;
+  struct ArrivalRow {
+    double time = 0.0;
+    std::size_t tasks = 0;  // 0 = configured batch size
+    double deadline = std::numeric_limits<double>::quiet_NaN();  // NaN = drawn
+  };
+  Result<std::vector<ArrivalRow>> arrival_times() const;
 
   std::vector<wl::FileInfo> catalog_;
   ServiceBatchConfig batch_cfg_;

@@ -42,7 +42,7 @@ Result<ServiceResult> ServiceLoop::run(std::vector<BatchArrival> arrivals) {
       ++next;
     }
 
-    QueuedBatch q = queue.pop();
+    QueuedBatch q = queue.pop(clock);
 
     // The scheduler instance is reused across batches; clear its per-run
     // counters so begin_batch()'s stats-reuse guard passes and each batch

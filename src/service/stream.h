@@ -1,0 +1,124 @@
+// The streaming (rolling-horizon) service loop: batch arrivals without the
+// batch barrier.
+//
+// ServiceLoop (service/service.h) runs one batch at a time to completion —
+// an arrival waits for the whole batch ahead of it even when the executor
+// has idle capacity. StreamServiceLoop instead keeps ONE execution engine
+// alive across the run: admitted batches append their tasks to a growable
+// merged workload over the shared catalogue, an IncrementalPlanner
+// (sched/incremental.h) folds them into the live plan via extend()/repair(),
+// and commit_horizon() releases execution windows whose reservations are
+// floored at the admitting wall clock (SubBatchPlan::release_time). Batches
+// therefore overlap: a late arrival's tasks can start on idle nodes while
+// an earlier batch's tail still runs.
+//
+// Admission is SLO-aware: each BatchArrival carries an SloClass, the
+// deadline-aware AdmissionQueue orders by effective deadline with priority
+// aging, and overload either rejects, sheds the lowest-value queued batch,
+// or degrades the newcomer to best-effort. SLO attainment counts shed and
+// rejected batches as missed.
+//
+// Quiescence contract: with a single batch arriving at t = 0 and a
+// drain-all horizon (window_seconds <= 0), the run is bit-identical to
+// sched::run_batch over the same workload — pinned by
+// tests/incremental_test.cc against the PR 4 topology goldens.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "sched/incremental.h"
+#include "sched/scheduler.h"
+#include "service/admission.h"
+#include "service/arrival.h"
+#include "sim/cluster.h"
+#include "sim/engine.h"
+#include "util/error.h"
+#include "workload/types.h"
+
+namespace bsio::service {
+
+struct StreamOptions {
+  AdmissionOptions admission;
+  sched::HorizonOptions horizon;
+  // Maximum batches concurrently in the live window (admitted but not yet
+  // fully executed); 0 = unbounded. Arrivals beyond the bound wait in the
+  // admission queue.
+  std::size_t max_live_batches = 0;
+};
+
+// One batch's stream service record. Exactly one of {completed, shed,
+// rejected} ends a batch's life; admit/completion/response are only
+// meaningful when the batch was admitted (resp. completed).
+struct StreamBatchMetrics {
+  std::size_t index = 0;  // arrival index
+  std::size_t tasks = 0;
+  double arrival_time = 0.0;
+  double admit_time = 0.0;       // clock when it left the queue
+  double completion_time = 0.0;  // last task's completion
+  double response_time = 0.0;    // completion - arrival
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  double weight = 1.0;
+  bool rejected = false;  // bounced at offer (kReject backpressure)
+  bool shed = false;      // evicted from the queue by kShedLowestValue
+  bool degraded = false;  // admitted past the bound as best-effort
+  bool completed = false;
+  // Judged against the ORIGINAL SLO class even for degraded batches.
+  bool slo_met = false;
+};
+
+struct StreamStats {
+  std::size_t batches_arrived = 0;
+  std::size_t batches_completed = 0;
+  std::size_t rejected_batches = 0;
+  std::size_t shed_batches = 0;
+  std::size_t degraded_batches = 0;
+  std::size_t tasks_executed = 0;
+  // Response-time distribution over COMPLETED batches.
+  double mean_response = 0.0;
+  double p50_response = 0.0;
+  double p99_response = 0.0;
+  double max_response = 0.0;
+  // SLO attainment over ALL arrivals: batches completing within their
+  // original deadline divided by batches arrived — shed and rejected
+  // batches count as missed.
+  std::size_t slo_met = 0;
+  double slo_attainment = 0.0;
+  double total_planning_seconds = 0.0;  // wall clock in repair/extend/commit
+  std::size_t planning_cycles = 0;      // repair+extend+commit rounds
+  std::size_t windows_committed = 0;    // horizon windows executed
+  double completion_time = 0.0;         // service clock at drain
+  sim::ExecutionStats exec;             // engine totals + solver counters
+};
+
+struct StreamResult {
+  std::vector<StreamBatchMetrics> batches;
+  StreamStats stats;
+};
+
+class StreamServiceLoop {
+ public:
+  // `catalog` is the shared file catalogue every arriving batch was built
+  // over (make_shared_catalog); arrivals whose batch catalogue disagrees
+  // with it are a typed error, since the merged workload fixes files up
+  // front and only grows tasks.
+  StreamServiceLoop(sched::Scheduler& scheduler,
+                    const sim::ClusterConfig& cluster,
+                    std::vector<wl::FileInfo> catalog,
+                    StreamOptions options = {});
+
+  // Serves the arrival sequence to drain (arrivals must be sorted by time).
+  // Typed errors: invalid cluster, malformed BSIO_THREADS, catalogue
+  // mismatch, an infeasible task, or the engine rejecting a window.
+  // Rejected and shed batches are counted, not errors.
+  Result<StreamResult> run(std::vector<BatchArrival> arrivals);
+
+ private:
+  sched::Scheduler& scheduler_;
+  sim::ClusterConfig cluster_;
+  std::vector<wl::FileInfo> catalog_;
+  StreamOptions options_;
+};
+
+}  // namespace bsio::service

@@ -225,7 +225,7 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
 
 double ExecutionEngine::estimate_ect(wl::TaskId task, wl::NodeId node) const {
   const auto& info = workload_.task(task);
-  double cursor = compute_tl_[node].horizon();
+  double cursor = std::max(compute_tl_[node].horizon(), release_floor_);
   double read_bytes = 0.0;
   for (wl::FileId f : info.files) {
     read_bytes += workload_.file_size(f);
@@ -367,14 +367,14 @@ Result<bool> ExecutionEngine::commit_task(const SubBatchPlan& plan,
     }
   }
 
-  double last_end = compute_tl_[node].horizon();
+  double last_end = std::max(compute_tl_[node].horizon(), release_floor_);
   std::vector<wl::FileId> remaining = missing;
   while (!remaining.empty()) {
     // Greedy minimum-TCT-first staging (paper Section 6): evaluate every
     // remaining file against the current Gantt state, commit the earliest.
     std::size_t best_i = 0;
     double best_tct = kInfTime;
-    const double after = compute_tl_[node].horizon();
+    const double after = std::max(compute_tl_[node].horizon(), release_floor_);
     for (std::size_t i = 0; i < remaining.size(); ++i) {
       TransferChoice c = best_transfer(plan, remaining[i], node, after);
       if (c.completion() < best_tct) {
@@ -655,9 +655,15 @@ Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
       return Err("SubBatchPlan: prefetch targets crashed compute node " +
                  std::to_string(dst));
   }
+  if (!(plan.release_time >= 0.0))
+    return Err("SubBatchPlan: release_time must be non-negative");
   for (wl::TaskId t : plan.tasks) {
-    if (t >= workload_.num_tasks())
-      return Err("SubBatchPlan: plan names unknown task " + std::to_string(t));
+    // Bounded by the engine's admitted-task watermark, not the workload's
+    // size: tasks appended to a growable workload become plannable only
+    // after admit_new_tasks().
+    if (t >= executed_.size())
+      return Err("SubBatchPlan: plan names unknown or un-admitted task " +
+                 std::to_string(t));
     if (executed_[t])
       return Err("SubBatchPlan: task " + std::to_string(t) +
                  " was already executed");
@@ -676,13 +682,14 @@ Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
   }
 
   started_ = true;  // warm seeding (seed_cache) is closed from here on
+  release_floor_ = plan.release_time;
   ExecutionStats stats;
 
   // Proactive replications (Data Least Loaded) before task scheduling.
   for (const auto& [file, dst] : plan.prefetches) {
     if (state_.has(dst, file)) continue;
     const double size = workload_.file_size(file);
-    const double after = compute_tl_[dst].horizon();
+    const double after = std::max(compute_tl_[dst].horizon(), release_floor_);
     evict_for(dst, size - state_.free_bytes(dst), {file}, stats);
     Result<TransferChoice> c = commit_transfer(
         plan, wl::kInvalidTask, file, dst, after,
@@ -790,6 +797,23 @@ Result<ExecutionStats> ExecutionEngine::execute(const SubBatchPlan& plan) {
   return stats;
 }
 
+Status ExecutionEngine::admit_new_tasks() {
+  if (workload_.num_files() != pending_requests_.size())
+    return Err("admit_new_tasks: the file catalogue changed size; the "
+               "growable stream workload keeps files fixed and only appends "
+               "tasks");
+  const std::size_t old_count = executed_.size();
+  if (workload_.num_tasks() < old_count)
+    return Err("admit_new_tasks: the workload shrank below the admitted "
+               "task count");
+  for (std::size_t t = old_count; t < workload_.num_tasks(); ++t)
+    for (wl::FileId f : workload_.task(static_cast<wl::TaskId>(t)).files)
+      pending_requests_[f] += 1.0;
+  executed_.resize(workload_.num_tasks(), false);
+  completion_time_.resize(workload_.num_tasks(), 0.0);
+  return OkStatus();
+}
+
 std::vector<wl::TaskId> ExecutionEngine::take_orphaned() {
   std::vector<wl::TaskId> out;
   out.swap(orphaned_);
@@ -846,7 +870,9 @@ std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
 
 std::vector<double> ExecutionEngine::completed_task_times() const {
   std::vector<double> out;
-  for (wl::TaskId t = 0; t < workload_.num_tasks(); ++t)
+  // executed_.size(), not workload_.num_tasks(): appended-but-unadmitted
+  // tasks have no completion slot yet.
+  for (wl::TaskId t = 0; t < executed_.size(); ++t)
     if (executed_[t]) out.push_back(completion_time_[t]);
   return out;
 }

@@ -43,6 +43,7 @@
 #include "sim/state.h"
 #include "sim/timeline.h"
 #include "sim/topology.h"
+#include "util/check.h"
 #include "util/error.h"
 #include "workload/types.h"
 
@@ -166,11 +167,20 @@ class ExecutionEngine {
 
   // Executes one sub-batch plan on top of the current cluster state; returns
   // the stats of this call. A malformed plan (unknown task/node ids, a task
-  // already executed, a missing assignment, work placed on a crashed node)
-  // yields a recoverable error before any state mutates. Tasks killed by an
-  // injected node crash are NOT executed — they surface via
-  // take_orphaned() for re-scheduling.
+  // already executed, a missing assignment, work placed on a crashed node, a
+  // negative release_time) yields a recoverable error before any state
+  // mutates. Tasks killed by an injected node crash are NOT executed — they
+  // surface via take_orphaned() for re-scheduling. The plan's release_time
+  // floors every new reservation (streaming horizon windows); 0 keeps the
+  // historical batch behaviour bit for bit.
   Result<ExecutionStats> execute(const SubBatchPlan& plan);
+
+  // Admits tasks appended to the workload since construction (or since the
+  // last call) — the streaming service's growable merged workload. The file
+  // catalogue must not have changed size: the stream contract fixes files up
+  // front and only grows tasks. Newly admitted tasks join the pending-
+  // request popularity counters and become valid plan targets.
+  Status admit_new_tasks();
 
   // Batch execution time so far: the latest completion over all executed
   // tasks.
@@ -194,6 +204,14 @@ class ExecutionEngine {
   // Completion instants of every task executed so far (unsorted; one entry
   // per executed task). Drivers aggregate these into tail percentiles.
   std::vector<double> completed_task_times() const;
+
+  // Per-task execution state, for the streaming service's per-batch
+  // response-time bookkeeping. task_completion requires task_executed.
+  bool task_executed(wl::TaskId t) const { return executed_[t]; }
+  double task_completion(wl::TaskId t) const {
+    BSIO_DCHECK(executed_[t]);
+    return completion_time_[t];
+  }
 
   // --- Failure recovery surface. ---
   const FaultModel& faults() const { return faults_; }
@@ -335,6 +353,10 @@ class ExecutionEngine {
   std::vector<bool> was_evicted_;  // per file: evicted at least once
   std::vector<bool> seeded_;       // per file: carried in by seed_cache()
   bool started_ = false;           // an execute() call has run
+  // Wall-clock floor of the plan currently executing (SubBatchPlan::
+  // release_time); 0 outside streaming windows. Consulted everywhere a new
+  // reservation or ECT cursor starts from a compute-node horizon.
+  double release_floor_ = 0.0;
   double makespan_ = 0.0;
   ExecutionStats totals_;
   std::vector<TraceEvent> trace_;

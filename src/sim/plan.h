@@ -42,6 +42,13 @@ struct SubBatchPlan {
   // satisfied by the cache are skipped.
   std::vector<std::pair<wl::FileId, wl::NodeId>> prefetches;
 
+  // Wall-clock floor for every reservation this plan's execution makes: the
+  // streaming service stamps the instant the horizon window was committed,
+  // so staging and exec blocks of a batch that arrived at time t never start
+  // before t even on an idle cluster. 0 (the default) floors nothing and
+  // keeps batch-mode execution bit-identical.
+  double release_time = 0.0;
+
   bool empty() const { return tasks.empty(); }
 };
 

@@ -22,6 +22,26 @@ Workload::Workload(std::vector<TaskInfo> tasks, std::vector<FileInfo> files)
   validate();
 }
 
+TaskId Workload::append_tasks(std::vector<TaskInfo> tasks) {
+  const auto first = static_cast<TaskId>(tasks_.size());
+  tasks_.reserve(tasks_.size() + tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskInfo& t = tasks[i];
+    t.id = static_cast<TaskId>(first + i);
+    auto& fs = t.files;
+    std::sort(fs.begin(), fs.end());
+    fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+    BSIO_CHECK_MSG(t.compute_seconds >= 0.0, "negative compute time");
+    for (FileId f : fs) {
+      BSIO_CHECK_MSG(f < files_.size(),
+                     "appended task references unknown file");
+      tasks_of_file_[f].push_back(t.id);
+    }
+    tasks_.push_back(std::move(t));
+  }
+  return first;
+}
+
 void Workload::build_inverse() {
   tasks_of_file_.assign(files_.size(), {});
   for (const auto& t : tasks_)

@@ -63,6 +63,14 @@ class Workload {
   // referenced by the subset remain in the catalogue but have no requesters).
   Workload subset(const std::vector<TaskId>& task_ids) const;
 
+  // Appends tasks to the batch, keeping the file catalogue fixed — the
+  // streaming service's growable merged workload (batches admitted into the
+  // live horizon window join one Workload over the shared catalogue). Ids
+  // continue densely from the current task count; per-task file lists are
+  // normalised exactly like the constructor's, and the file inverse is
+  // extended in place. Returns the id of the first appended task.
+  TaskId append_tasks(std::vector<TaskInfo> tasks);
+
   // Validation: file ids in range, per-task file lists sorted and unique,
   // sizes positive. Aborts via BSIO_CHECK on violation.
   void validate() const;

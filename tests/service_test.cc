@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -410,7 +411,14 @@ TEST(Arrivals, TraceErrorsAreTyped) {
   EXPECT_FALSE(generate("5.0\n1.0\n").ok());   // non-monotone
   EXPECT_FALSE(generate("banana\n").ok());     // not a number
   EXPECT_FALSE(generate("1.0 -3\n").ok());     // non-positive size
+  EXPECT_FALSE(generate("1.0 4 -2\n").ok());   // non-positive deadline
   EXPECT_FALSE(generate("# only comments\n").ok());
+
+  // A zero-task arrival is its own typed error: an empty batch is not a
+  // parse accident worth conflating with a negative size.
+  const auto zero = generate("1.0 0\n");
+  ASSERT_FALSE(zero.ok());
+  EXPECT_NE(zero.error().message.find("num_tasks == 0"), std::string::npos);
 
   service::ArrivalConfig missing;
   missing.trace_path = testing::TempDir() + "does_not_exist_xyz.txt";
@@ -421,6 +429,62 @@ TEST(Arrivals, TraceErrorsAreTyped) {
   bad_rate.rate = 0.0;
   service::BatchArrivalProcess q(catalog, test_batch_cfg(4), bad_rate);
   EXPECT_FALSE(q.generate().ok());
+
+  // Generator path: a configured batch size of zero is the same typed
+  // error, caught before any batch is built.
+  service::ArrivalConfig poisson;
+  poisson.rate = 1.0;
+  poisson.num_batches = 2;
+  service::BatchArrivalProcess z(catalog, test_batch_cfg(0), poisson);
+  const auto zr = z.generate();
+  ASSERT_FALSE(zr.ok());
+  EXPECT_NE(zr.error().message.find("num_tasks == 0"), std::string::npos);
+}
+
+TEST(Arrivals, SloClassesDrawDeterministicallyAndTraceOverrides) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::ArrivalConfig cfg;
+  cfg.rate = 0.1;
+  cfg.num_batches = 8;
+  cfg.seed = 4;
+  cfg.slo_classes = {{30.0, 4.0}, {120.0, 1.0}};
+  service::BatchArrivalProcess p(catalog, test_batch_cfg(4), cfg);
+  auto a = p.generate();
+  auto b = p.generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  bool saw_premium = false, saw_standard = false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.value()[i].slo.deadline_seconds,
+              b.value()[i].slo.deadline_seconds);
+    EXPECT_EQ(a.value()[i].slo.weight, b.value()[i].slo.weight);
+    saw_premium |= a.value()[i].slo.deadline_seconds == 30.0;
+    saw_standard |= a.value()[i].slo.deadline_seconds == 120.0;
+  }
+  EXPECT_TRUE(saw_premium);
+  EXPECT_TRUE(saw_standard);
+
+  // The arrival source moves WHEN batches arrive, never their class.
+  service::ArrivalConfig fast = cfg;
+  fast.rate = 10.0;
+  service::BatchArrivalProcess q(catalog, test_batch_cfg(4), fast);
+  auto f = q.generate();
+  ASSERT_TRUE(f.ok());
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(f.value()[i].slo.deadline_seconds,
+              a.value()[i].slo.deadline_seconds);
+
+  // A trace's third column overrides the drawn class per batch.
+  const std::string path = testing::TempDir() + "slo_trace.txt";
+  std::ofstream(path) << "0.5 4 12.5\n2.0 4\n";
+  service::ArrivalConfig tcfg = cfg;
+  tcfg.trace_path = path;
+  service::BatchArrivalProcess t(catalog, test_batch_cfg(4), tcfg);
+  auto tr = t.generate();
+  ASSERT_TRUE(tr.ok()) << tr.error().message;
+  EXPECT_EQ(tr.value()[0].slo.deadline_seconds, 12.5);
+  EXPECT_EQ(tr.value()[1].slo.deadline_seconds,
+            a.value()[1].slo.deadline_seconds);
 }
 
 // -------------------------------------------------------------- admission
@@ -483,6 +547,116 @@ TEST(Admission, BoundedQueueRejectsWithTypedError) {
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.error().message.find("full"), std::string::npos);
   EXPECT_EQ(q.size(), 2u);
+}
+
+service::BatchArrival arrival_with_slo(
+    const std::vector<wl::FileInfo>& catalog, std::size_t index, double time,
+    double deadline, double weight) {
+  service::BatchArrival a = arrival_of(catalog, 4, index, time);
+  a.slo.deadline_seconds = deadline;
+  a.slo.weight = weight;
+  return a;
+}
+
+TEST(Admission, DeadlineAwarePopsEarliestEffectiveDeadline) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionOptions opt;
+  opt.policy = service::AdmissionPolicy::kDeadlineAware;
+  service::AdmissionQueue q(test_cluster(), opt);
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 0, 0.0, 100.0, 1.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 1, 1.0, 20.0, 1.0)).ok());
+  // Best-effort (infinite deadline) clamps to best_effort_deadline: never
+  // ahead of a real deadline, never starved out of the ordering.
+  service::BatchArrival be = arrival_of(catalog, 4, 2, 0.5);
+  ASSERT_TRUE(q.offer(std::move(be)).ok());
+  EXPECT_EQ(q.pop(2.0).arrival.index, 1u);  // due 21
+  EXPECT_EQ(q.pop(2.0).arrival.index, 0u);  // due 100
+  EXPECT_EQ(q.pop(2.0).arrival.index, 2u);  // best-effort clamp
+}
+
+TEST(Admission, AgingPullsOldBatchesAcrossSloClasses) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionOptions opt;
+  opt.policy = service::AdmissionPolicy::kDeadlineAware;
+  opt.aging_weight = 10.0;  // 10 key-seconds of credit per waiting second
+  service::AdmissionQueue q(test_cluster(), opt);
+  // Pure EDF would pop index 1 (due 30) before index 0 (due 100); with
+  // aging, by now = 12 the older batch has earned 120 key-seconds of
+  // credit against the newcomer's 20 and overtakes it.
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 0, 0.0, 100.0, 1.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 1, 10.0, 20.0, 1.0)).ok());
+  EXPECT_EQ(q.pop(12.0).arrival.index, 0u);
+  EXPECT_EQ(q.pop(12.0).arrival.index, 1u);
+}
+
+TEST(Admission, ShedLowestValueEvictsAndSurfacesVictims) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionOptions opt;
+  opt.max_queue_depth = 2;
+  opt.overload = service::OverloadPolicy::kShedLowestValue;
+  service::AdmissionQueue q(test_cluster(), opt);
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 0, 0.0, 50.0, 5.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 1, 0.0, 50.0, 1.0)).ok());
+  // Weight 3 beats the queued weight-1 batch: that one is shed, the offer
+  // admitted, the bound kept.
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 2, 1.0, 50.0, 3.0)).ok());
+  EXPECT_EQ(q.size(), 2u);
+  std::vector<service::QueuedBatch> shed = q.take_shed();
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_EQ(shed[0].arrival.index, 1u);
+  EXPECT_TRUE(q.take_shed().empty());
+  // An offer weaker than everything queued is itself the victim: typed
+  // rejection, queue untouched.
+  const Status s = q.offer(arrival_with_slo(catalog, 3, 2.0, 50.0, 0.5));
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("shed"), std::string::npos);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(Admission, DegradeAdmitsPastBoundAsBestEffort) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionOptions opt;
+  opt.max_queue_depth = 1;
+  opt.overload = service::OverloadPolicy::kDegrade;
+  service::AdmissionQueue q(test_cluster(), opt);
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 0, 0.0, 10.0, 2.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_with_slo(catalog, 1, 0.0, 10.0, 2.0)).ok());
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.degraded_count(), 1u);
+  q.pop();
+  const service::QueuedBatch d = q.pop();
+  EXPECT_EQ(d.arrival.index, 1u);
+  EXPECT_TRUE(d.degraded);
+  EXPECT_EQ(d.effective_slo.weight, 0.0);
+  EXPECT_FALSE(std::isfinite(d.effective_slo.deadline_seconds));
+  // The original class survives on the arrival for SLO reporting.
+  EXPECT_EQ(d.arrival.slo.deadline_seconds, 10.0);
+}
+
+TEST(Admission, SjfPricesOnceAtOfferTimeOnly) {
+  const std::vector<wl::FileInfo> catalog = test_catalog();
+  service::AdmissionOptions opt;
+  opt.policy = service::AdmissionPolicy::kShortestBatchFirst;
+  service::AdmissionQueue q(test_cluster(), opt);
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 8, 0, 0.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 2, 1, 0.0)).ok());
+  ASSERT_TRUE(q.offer(arrival_of(catalog, 5, 2, 0.0)).ok());
+  EXPECT_EQ(q.pricing_calls(), 3u);
+  // Dequeues read the memoized estimates; no re-pricing per poll.
+  while (!q.empty()) q.pop();
+  EXPECT_EQ(q.pricing_calls(), 3u);
+
+  // The other policies never price at all.
+  service::AdmissionQueue fifo(test_cluster(), {});
+  ASSERT_TRUE(fifo.offer(arrival_of(catalog, 8, 0, 0.0)).ok());
+  fifo.pop();
+  EXPECT_EQ(fifo.pricing_calls(), 0u);
+  service::AdmissionOptions edf;
+  edf.policy = service::AdmissionPolicy::kDeadlineAware;
+  service::AdmissionQueue dq(test_cluster(), edf);
+  ASSERT_TRUE(dq.offer(arrival_of(catalog, 8, 0, 0.0)).ok());
+  dq.pop(1.0);
+  EXPECT_EQ(dq.pricing_calls(), 0u);
 }
 
 // ---------------------------------------------------- cross-batch catalog

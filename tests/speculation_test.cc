@@ -411,8 +411,8 @@ TEST(Speculation, ServiceBudgetFractionBoundsSpeculation) {
 
   auto arrivals = [&] {
     std::vector<service::BatchArrival> a(2);
-    a[0] = {0.0, 0, w};
-    a[1] = {0.0, 1, w};
+    a[0] = {0.0, 0, {}, w};
+    a[1] = {0.0, 1, {}, w};
     return a;
   };
 
