@@ -1,6 +1,7 @@
 #include "sched/driver.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -49,6 +50,13 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
     result.tasks_stranded = workload.num_tasks();
     return result;
   }
+  if (const Status v =
+          options.replication.validate(cluster.num_compute_nodes);
+      !v.ok()) {
+    result.error = v.error().message;
+    result.tasks_stranded = workload.num_tasks();
+    return result;
+  }
   // Stats-reuse guard: a scheduler instance still loaded with a previous
   // run's counters must be reset before serving another batch.
   if (const Status v = scheduler.begin_batch(); !v.ok()) {
@@ -93,6 +101,18 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
     }
   }
   SchedulerContext ctx{workload, cluster, engine, options.initial_cache};
+
+  // Replica lifecycle: the manager runs one repair round after every
+  // sub-batch, floored at the current makespan — the NEXT sub-batch's
+  // foreground transfers then contend with the repair reservations on the
+  // shared timelines, which is the honest-competition contract. Planners
+  // see manager-placed replicas automatically (PlannerState seeds holders
+  // from the engine's cluster state).
+  std::unique_ptr<replica::ReplicaManager> repair_mgr;
+  if (options.replication.enabled)
+    repair_mgr =
+        std::make_unique<replica::ReplicaManager>(workload,
+                                                  options.replication);
 
   std::vector<wl::TaskId> pending;
   pending.reserve(workload.num_tasks());
@@ -144,6 +164,16 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                        << engine.alive_count() << " nodes alive)";
       pending.insert(pending.end(), orphaned.begin(), orphaned.end());
     }
+    if (repair_mgr != nullptr) {
+      const replica::RepairReport rep =
+          repair_mgr->run_repairs(engine, engine.makespan());
+      if (rep.flushes_scheduled + rep.replicas_scheduled > 0) {
+        BSIO_LOG(kDebug) << scheduler.name() << ": repair round scheduled "
+                         << rep.flushes_scheduled << " flushes and "
+                         << rep.replicas_scheduled << " replicas ("
+                         << rep.deferred << " deferred)";
+      }
+    }
     if (executed.value().speculative_launches > 0) {
       BSIO_LOG(kDebug) << scheduler.name() << ": sub-batch launched "
                        << executed.value().speculative_launches
@@ -156,6 +186,22 @@ BatchRunResult run_batch(Scheduler& scheduler, const wl::Workload& workload,
                      << " executed " << plan.tasks.size() << " tasks, "
                      << pending.size() << " pending, makespan "
                      << engine.makespan();
+  }
+
+  // Convergence passes: a round's fan-out can unlock the next one (a fresh
+  // copy becomes a source; a budget bound spreads work over rounds), so
+  // drain the deficit with a few bounded extra rounds, each floored at the
+  // previous round's last completion. What remains after that is a real
+  // deficit: lost versions or copies that fit nowhere.
+  if (repair_mgr != nullptr && result.error.empty()) {
+    double floor = engine.makespan();
+    for (int round = 0; round < 8; ++round) {
+      if (repair_mgr->files_below_target(engine).empty()) break;
+      const replica::RepairReport rep = repair_mgr->run_repairs(engine, floor);
+      if (rep.flushes_scheduled + rep.replicas_scheduled == 0) break;
+      floor = std::max(floor, rep.last_completion);
+    }
+    result.replica_deficit = repair_mgr->files_below_target(engine).size();
   }
 
   result.batch_time = engine.makespan();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "replica/replica.h"
 #include "sched/scheduler.h"
 #include "sim/cluster.h"
 #include "sim/engine.h"
@@ -37,6 +38,12 @@ struct BatchRunOptions {
   // Capture the engine's final cache contents into
   // BatchRunResult::final_cache — the snapshot the next batch warms from.
   bool capture_final_cache = false;
+  // Replica lifecycle manager (src/replica): tiered replication targets,
+  // background repair after crashes, write-back of mutable files. Off by
+  // default — a disabled config keeps the run bit-identical to the
+  // replication-free driver (PR 4 golden contract). Validated up front; an
+  // invalid config is a typed BatchRunResult::error.
+  replica::ReplicaConfig replication;
 };
 
 struct BatchRunResult {
@@ -60,6 +67,10 @@ struct BatchRunResult {
   // Completion instant of every executed task, ascending — the raw series
   // behind tail-latency percentiles (p50/p95/p99 of task response).
   std::vector<double> task_completion_times;
+  // Files still below their tier's replication target when the batch
+  // drained (replication enabled only): unrepairable deficits — versions
+  // lost to writer crashes, or copies that fit on no surviving disk.
+  std::size_t replica_deficit = 0;
   bool ok() const { return error.empty(); }
 };
 

@@ -32,6 +32,7 @@ wl::Workload make_service_batch(const std::vector<wl::FileInfo>& catalog,
   BSIO_CHECK(!catalog.empty());
   BSIO_CHECK(cfg.tasks_per_batch > 0);
   BSIO_CHECK(cfg.files_per_task > 0 && cfg.files_per_task <= catalog.size());
+  BSIO_CHECK(cfg.write_fraction >= 0.0 && cfg.write_fraction <= 1.0);
   Rng rng(seed);
   std::vector<wl::TaskInfo> tasks(cfg.tasks_per_batch);
   for (std::size_t t = 0; t < cfg.tasks_per_batch; ++t) {
@@ -48,6 +49,15 @@ wl::Workload make_service_batch(const std::vector<wl::FileInfo>& catalog,
     double bytes = 0.0;
     for (wl::FileId f : task.files) bytes += catalog[f].size_bytes;
     task.compute_seconds = bytes * cfg.compute_seconds_per_byte;
+    // Write workload, gated: no rng state is consumed at write_fraction 0.
+    if (cfg.write_fraction > 0.0 &&
+        rng.uniform_double() < cfg.write_fraction) {
+      const std::size_t k = std::min(
+          task.files.size() - 1,
+          static_cast<std::size_t>(rng.uniform_double() *
+                                   static_cast<double>(task.files.size())));
+      task.outputs.push_back(task.files[k]);
+    }
   }
   return wl::Workload(std::move(tasks), catalog);
 }
@@ -129,7 +139,8 @@ CrossBatchCatalog::CrossBatchCatalog(std::size_t num_files,
       cluster_(cluster),
       options_(options),
       popularity_(num_files, 0.0),
-      file_size_(num_files, 0.0) {
+      file_size_(num_files, 0.0),
+      holder_index_(num_files) {
   BSIO_CHECK_MSG(options_.carry_fraction > 0.0 &&
                      options_.carry_fraction <= 1.0,
                  "carry_fraction must be in (0, 1]");
@@ -140,6 +151,7 @@ void CrossBatchCatalog::fold_batch(const wl::Workload& batch,
                                    double batch_start) {
   BSIO_CHECK_MSG(batch.num_files() == num_files_,
                  "service batches must share one file catalogue");
+  dropped_last_fold_.clear();
   for (const auto& t : batch.tasks())
     for (wl::FileId f : t.files) popularity_[f] += 1.0;
   for (const auto& f : batch.files()) file_size_[f.id] = f.size_bytes;
@@ -180,25 +192,40 @@ void CrossBatchCatalog::fold_batch(const wl::Workload& batch,
         scratch.remove(n, f, file_size_[f]);
       }
     }
-    if (!dropped.empty())
+    if (!dropped.empty()) {
+      // Keep the exact attribution of every deliberately released copy
+      // (which node, which stamps) before erasing: downstream actual-RF
+      // accounting must distinguish these from crash losses.
+      for (const sim::CacheSeedEntry& e : carried_.entries)
+        if (dropped.count((static_cast<std::uint64_t>(e.node) << 32) |
+                          e.file) > 0)
+          dropped_last_fold_.push_back(e);
       std::erase_if(carried_.entries, [&](const sim::CacheSeedEntry& e) {
         return dropped.count((static_cast<std::uint64_t>(e.node) << 32) |
                              e.file) > 0;
       });
+    }
   }
+  rebuild_holder_index();
   ++batches_folded_;
+}
+
+void CrossBatchCatalog::rebuild_holder_index() {
+  for (auto& nodes : holder_index_) nodes.clear();
+  // carried_.entries are sorted by (node, file); appending per file yields
+  // ascending node lists without a per-file sort.
+  for (const sim::CacheSeedEntry& e : carried_.entries)
+    holder_index_[e.file].push_back(e.node);
 }
 
 sim::InitialCacheState CrossBatchCatalog::seed_for_next() const {
   return carried_.rebased();
 }
 
-std::vector<wl::NodeId> CrossBatchCatalog::replica_nodes(
+const std::vector<wl::NodeId>& CrossBatchCatalog::replica_nodes(
     wl::FileId file) const {
-  std::vector<wl::NodeId> nodes;
-  for (const sim::CacheSeedEntry& e : carried_.entries)
-    if (e.file == file) nodes.push_back(e.node);
-  return nodes;
+  BSIO_CHECK(file < holder_index_.size());
+  return holder_index_[file];
 }
 
 double CrossBatchCatalog::carried_bytes() const {

@@ -52,6 +52,13 @@ struct ServiceBatchConfig {
   // what makes consecutive batches share hot files.
   double zipf_s = 1.1;
   double compute_seconds_per_byte = 0.001 / (1024.0 * 1024.0);  // 0.001 s/MB
+  // Fraction of tasks that WRITE one of their input files (read-modify-
+  // write: the file joins wl::TaskInfo::outputs, so executing the task
+  // bumps its version epoch and invalidates cached copies — the replica
+  // manager's write-back workload). In [0, 1]. The write draws consume rng
+  // state ONLY when > 0, keeping every pre-existing zero-write sequence
+  // bit-identical.
+  double write_fraction = 0.0;
 };
 
 // One batch over the shared catalogue: every task draws
@@ -132,9 +139,26 @@ class CrossBatchCatalog {
   // popularity numerator of the inter-batch eviction pass).
   double popularity(wl::FileId file) const { return popularity_[file]; }
 
-  // Compute nodes currently carrying `file` in the snapshot (the service's
-  // replica map).
-  std::vector<wl::NodeId> replica_nodes(wl::FileId file) const;
+  // Compute nodes currently carrying `file` in the snapshot, ascending (the
+  // service's replica map). O(1): served from a per-file holder index
+  // rebuilt at each fold — historically a linear scan over every carried
+  // entry, which both cost O(entries) per query and, worse, meant the
+  // eviction pass left no record of WHICH node's copy it dropped. The index
+  // plus dropped_last_fold() keep holder attribution exact across epochs,
+  // so the replica manager's actual-RF accounting can tell a policy
+  // eviction from a crash loss.
+  const std::vector<wl::NodeId>& replica_nodes(wl::FileId file) const;
+  // Surviving copy count of `file` in the carried snapshot.
+  std::size_t carried_copies(wl::FileId file) const {
+    return replica_nodes(file).size();
+  }
+
+  // The exact (node, file) entries the LAST fold's carry_fraction eviction
+  // pass dropped, sorted by (node, file) with their global-clock stamps —
+  // the attribution record of deliberately released replicas.
+  const std::vector<sim::CacheSeedEntry>& dropped_last_fold() const {
+    return dropped_last_fold_;
+  }
 
   // Bytes carried in the current snapshot, and bytes the eviction passes
   // dropped over the whole run.
@@ -144,12 +168,18 @@ class CrossBatchCatalog {
   std::size_t batches_folded() const { return batches_folded_; }
 
  private:
+  void rebuild_holder_index();
+
   std::size_t num_files_;
   sim::ClusterConfig cluster_;
   CrossBatchOptions options_;
   std::vector<double> popularity_;     // per file, all batches
   std::vector<double> file_size_;      // per file, from the last fold
   sim::InitialCacheState carried_;     // global-clock stamps
+  // Per-file holders of the carried snapshot (ascending), rebuilt by
+  // fold_batch; kept in lockstep with carried_.
+  std::vector<std::vector<wl::NodeId>> holder_index_;
+  std::vector<sim::CacheSeedEntry> dropped_last_fold_;
   double evicted_bytes_ = 0.0;
   std::size_t batches_folded_ = 0;
 };

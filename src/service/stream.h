@@ -28,6 +28,7 @@
 #include <limits>
 #include <vector>
 
+#include "replica/replica.h"
 #include "sched/incremental.h"
 #include "sched/scheduler.h"
 #include "service/admission.h"
@@ -46,6 +47,12 @@ struct StreamOptions {
   // fully executed); 0 = unbounded. Arrivals beyond the bound wait in the
   // admission queue.
   std::size_t max_live_batches = 0;
+  // Replica lifecycle manager (src/replica): repair runs after every
+  // committed window and in the quiescent gaps between admissions, on the
+  // same engine timelines as foreground traffic. Off by default — the run
+  // stays bit-identical to the replication-free stream. Validated up
+  // front; an invalid config is a typed error from run().
+  replica::ReplicaConfig replication;
 };
 
 // One batch's stream service record. Exactly one of {completed, shed,
@@ -89,6 +96,11 @@ struct StreamStats {
   std::size_t planning_cycles = 0;      // repair+extend+commit rounds
   std::size_t windows_committed = 0;    // horizon windows executed
   double completion_time = 0.0;         // service clock at drain
+  // Replica lifecycle (replication enabled only): repair rounds run, and
+  // files still below their tier target at drain. Byte/second repair
+  // totals live in `exec` (repair_bytes / repair_seconds).
+  std::size_t repair_rounds = 0;
+  std::size_t replica_deficit = 0;
   sim::ExecutionStats exec;             // engine totals + solver counters
 };
 

@@ -56,6 +56,12 @@ void ExecutionStats::accumulate(const ExecutionStats& o) {
   speculative_cancels = sat_add(speculative_cancels, o.speculative_cancels);
   wasted_seconds += o.wasted_seconds;
   wasted_bytes += o.wasted_bytes;
+  replicas_created = sat_add(replicas_created, o.replicas_created);
+  replicas_invalidated = sat_add(replicas_invalidated, o.replicas_invalidated);
+  home_flushes = sat_add(home_flushes, o.home_flushes);
+  lost_versions = sat_add(lost_versions, o.lost_versions);
+  repair_bytes += o.repair_bytes;
+  repair_seconds += o.repair_seconds;
   lp_factorizations = sat_add(lp_factorizations, o.lp_factorizations);
   if (o.lp_factor_fill_nnz > lp_factor_fill_nnz)
     lp_factor_fill_nnz = o.lp_factor_fill_nnz;
@@ -86,6 +92,8 @@ ExecutionEngine::ExecutionEngine(const ClusterConfig& cluster,
         return caps;
       }()),
       pending_requests_(workload.num_files(), 0.0),
+      epoch_(workload.num_files(), 0),
+      home_valid_(workload.num_files(), 1),
       executed_(workload.num_tasks(), false),
       was_evicted_(workload.num_files(), false),
       seeded_(workload.num_files(), false),
@@ -188,22 +196,31 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
     return c;
   };
 
+  // A write leaves the home storage copy stale until the replica manager
+  // flushes it back; while stale, a remote fetch serves an OLD version and
+  // is only acceptable as a rollback read when no node holds the current
+  // one. Output-free workloads never mark a home stale, so this gate is
+  // inert on every pre-existing scenario.
+  const bool stale_home = home_valid_[file] == 0;
+
   // A fixed staging directive (IP plan) short-circuits the dynamic rule,
   // unless it has gone stale (replica source no longer holds the file, has
-  // crashed, or would crash before the copy completes).
+  // crashed, or would crash before the copy completes — or the directive
+  // points at a home copy a write has since invalidated).
   auto it = plan.staging.find({file, dst});
   if (it != plan.staging.end()) {
     const StagingSource& s = it->second;
-    if (s.kind == SourceKind::kRemote) return remote_choice();
-    if (cluster_.allow_replication && s.src_node != dst &&
-        s.src_node < cluster_.num_compute_nodes && alive_[s.src_node] &&
-        state_.has(s.src_node, file)) {
+    if (s.kind == SourceKind::kRemote && !stale_home) return remote_choice();
+    if (s.kind != SourceKind::kRemote && cluster_.allow_replication &&
+        s.src_node != dst && s.src_node < cluster_.num_compute_nodes &&
+        alive_[s.src_node] && state_.has(s.src_node, file)) {
       TransferChoice c = replica_choice(s.src_node);
       if (c.completion() <= faults_.crash_time(s.src_node)) return c;
     }
   }
 
   TransferChoice best = remote_choice();
+  bool best_is_stale = stale_home;
   if (cluster_.allow_replication) {
     for (wl::NodeId j : state_.holders(file)) {
       if (j == dst || !alive_[j]) continue;
@@ -211,13 +228,16 @@ ExecutionEngine::TransferChoice ExecutionEngine::best_transfer(
       // A source scheduled to crash before the copy completes cannot serve
       // it.
       if (c.completion() > faults_.crash_time(j)) continue;
-      // Strictly-better completion wins; ties keep the replica with the
+      // Any current copy beats a stale home read outright; otherwise a
+      // strictly-better completion wins and ties keep the replica with the
       // lowest source id, preferring replicas over remote (less storage
       // contention) on exact ties.
-      if (c.completion() < best.completion() - 1e-12 ||
+      if (best_is_stale || c.completion() < best.completion() - 1e-12 ||
           (c.completion() < best.completion() + 1e-12 &&
-           (best.remote || c.src < best.src)))
+           (best.remote || c.src < best.src))) {
         best = c;
+        best_is_stale = false;
+      }
     }
   }
   return best;
@@ -233,12 +253,8 @@ double ExecutionEngine::estimate_ect(wl::TaskId task, wl::NodeId node) const {
     const double size = workload_.file_size(f);
     // Horizon-based estimate: cheap, mutation-free, consistent across
     // candidates (used only for ranking).
-    const wl::NodeId home = workload_.file(f).home_storage_node;
-    const TransferPath rp = topo_.remote_path(home, node);
-    double src_ready = storage_tl_[home].horizon();
-    for (std::uint32_t l = 0; l < rp.num_links; ++l)
-      src_ready = std::max(src_ready, link_tl_[rp.links[l]].horizon());
-    double best = std::max(cursor, src_ready) + size / rp.bandwidth;
+    double best = kInfTime;
+    bool replica_served = false;
     if (cluster_.allow_replication) {
       for (wl::NodeId j : state_.holders(f)) {
         if (j == node) continue;
@@ -248,7 +264,18 @@ double ExecutionEngine::estimate_ect(wl::TaskId task, wl::NodeId node) const {
         for (std::uint32_t l = 0; l < pp.num_links; ++l)
           start = std::max(start, link_tl_[pp.links[l]].horizon());
         best = std::min(best, start + size / pp.bandwidth);
+        replica_served = true;
       }
+    }
+    // Mirror best_transfer's staleness gate: a stale home copy is only an
+    // estimate candidate when no node holds the current version.
+    if (home_valid_[f] != 0 || !replica_served) {
+      const wl::NodeId home = workload_.file(f).home_storage_node;
+      const TransferPath rp = topo_.remote_path(home, node);
+      double src_ready = storage_tl_[home].horizon();
+      for (std::uint32_t l = 0; l < rp.num_links; ++l)
+        src_ready = std::max(src_ready, link_tl_[rp.links[l]].horizon());
+      best = std::min(best, std::max(cursor, src_ready) + size / rp.bandwidth);
     }
     cursor = best;
   }
@@ -307,6 +334,10 @@ Result<ExecutionEngine::TransferChoice> ExecutionEngine::commit_transfer(
       if (c.remote) {
         ++stats.remote_transfers;
         stats.remote_bytes += size;
+        // A remote fetch from a stale home only happens when every current
+        // copy is gone (writer crashed before a flush): the newest version
+        // is unrecoverable and this read rolls back to the old one.
+        if (home_valid_[file] == 0) ++stats.lost_versions;
       } else {
         if (touch_replica_source)
           state_.touch(c.src, file, c.completion());
@@ -465,9 +496,41 @@ Result<bool> ExecutionEngine::commit_task(const SubBatchPlan& plan,
 
 void ExecutionEngine::finalize_task(wl::TaskId task, wl::NodeId node,
                                     double completion, ExecutionStats& stats) {
-  for (wl::FileId f : workload_.task(task).files) {
+  const auto& info = workload_.task(task);
+  for (wl::FileId f : info.files) {
     state_.touch(node, f, completion);
     pending_requests_[f] -= 1.0;
+  }
+  if (!info.outputs.empty()) {
+    // The task wrote files: bump each output's version epoch, eagerly drop
+    // every now-stale cached copy on other nodes, mark the home storage
+    // copy dirty until the replica manager flushes it, and make the writer
+    // hold the new version. Eviction for a pure output (not read by the
+    // task) pins the task's inputs AND outputs — an extension of the
+    // paper's "one task's files fit on one node" assumption.
+    std::vector<wl::FileId> pinned = info.files;
+    pinned.insert(pinned.end(), info.outputs.begin(), info.outputs.end());
+    for (wl::FileId f : info.outputs) {
+      const double size = workload_.file_size(f);
+      ++epoch_[f];
+      // Copy the holder list: remove() mutates the inverted index.
+      const std::vector<wl::NodeId> stale = state_.holders(f);
+      for (wl::NodeId j : stale) {
+        if (j == node) continue;
+        state_.remove(j, f, size);
+        ++stats.replicas_invalidated;
+        if (options_.trace)
+          trace_.push_back({TraceEvent::Kind::kReplicaInvalidate, task, f,
+                            node, j, completion, completion});
+      }
+      home_valid_[f] = 0;
+      if (state_.has(node, f)) {
+        state_.touch(node, f, completion);
+      } else {
+        evict_for(node, size - state_.free_bytes(node), pinned, stats);
+        state_.add(node, f, size, completion);
+      }
+    }
   }
   executed_[task] = true;
   completion_time_[task] = completion;
@@ -479,6 +542,11 @@ wl::NodeId ExecutionEngine::find_speculation_target(wl::TaskId task,
                                                     wl::NodeId primary) const {
   const SpeculationConfig& spec = options_.speculation;
   const auto& info = workload_.task(task);
+  // A task with outputs never speculates: first-finish-wins finalizes the
+  // winner's writes (invalidating the loser's staged copies) BEFORE the
+  // loser's rollback runs, which would double-remove those cache entries —
+  // and duplicated writes would double-bump version epochs.
+  if (!info.outputs.empty()) return wl::kInvalidNode;
   wl::NodeId best = wl::kInvalidNode;
   double best_est = kInfTime;
   for (wl::NodeId j = 0; j < cluster_.num_compute_nodes; ++j) {
@@ -814,6 +882,156 @@ Status ExecutionEngine::admit_new_tasks() {
   return OkStatus();
 }
 
+Result<double> ExecutionEngine::stage_replica(wl::FileId file, wl::NodeId dst,
+                                              double after,
+                                              double bandwidth_cap) {
+  if (file >= workload_.num_files())
+    return Err("stage_replica: unknown file " + std::to_string(file));
+  if (dst >= cluster_.num_compute_nodes)
+    return Err("stage_replica: invalid compute node " + std::to_string(dst));
+  if (!alive_[dst])
+    return Err("stage_replica: destination node " + std::to_string(dst) +
+               " has crashed");
+  if (state_.has(dst, file))
+    return Err("stage_replica: node " + std::to_string(dst) +
+               " already holds file " + std::to_string(file));
+  if (!(after >= 0.0))
+    return Err("stage_replica: start floor must be non-negative");
+  const double size = workload_.file_size(file);
+  if (state_.free_bytes(dst) < size)
+    return Err("stage_replica: no free space on node " + std::to_string(dst) +
+               " (background repair never evicts)");
+
+  const auto capped = [&](double path_bw) {
+    return bandwidth_cap > 0.0 ? std::min(path_bw, bandwidth_cap) : path_bw;
+  };
+
+  // Candidate sources: the home storage copy while valid, plus every alive
+  // current holder. Same rule as foreground staging: earliest completion
+  // wins, ties keep the lowest replica source id, replica over remote on
+  // exact ties.
+  TransferChoice best;
+  bool found = false;
+  if (home_valid_[file] != 0) {
+    best.remote = true;
+    best.src = workload_.file(file).home_storage_node;
+    best.path = topo_.remote_path(best.src, dst);
+    best.duration = size / capped(best.path.bandwidth);
+    std::vector<Timeline*> tls{&storage_tl_[best.src]};
+    for (std::uint32_t l = 0; l < best.path.num_links; ++l)
+      tls.push_back(&link_tl_[best.path.links[l]]);
+    tls.push_back(&compute_tl_[dst]);
+    best.start = earliest_common_free(tls, after, best.duration);
+    found = true;
+  }
+  for (wl::NodeId j : state_.holders(file)) {
+    if (j == dst || !alive_[j]) continue;
+    TransferChoice c;
+    c.remote = false;
+    c.src = j;
+    c.path = topo_.replica_path(j, dst);
+    c.duration = size / capped(c.path.bandwidth);
+    std::vector<Timeline*> tls{&compute_tl_[j]};
+    for (std::uint32_t l = 0; l < c.path.num_links; ++l)
+      tls.push_back(&link_tl_[c.path.links[l]]);
+    tls.push_back(&compute_tl_[dst]);
+    c.start = earliest_common_free(
+        tls, std::max(after, state_.available_at(j, file)), c.duration);
+    if (c.completion() > faults_.crash_time(j)) continue;
+    if (!found || c.completion() < best.completion() - 1e-12 ||
+        (c.completion() < best.completion() + 1e-12 &&
+         (best.remote || c.src < best.src))) {
+      best = c;
+      found = true;
+    }
+  }
+  if (!found)
+    return Err("stage_replica: no valid source for file " +
+               std::to_string(file) +
+               " (home copy stale and no current holder)");
+  if (best.completion() > faults_.crash_time(dst))
+    return Err("stage_replica: destination node " + std::to_string(dst) +
+               " crashes before the copy completes");
+
+  if (best.remote)
+    storage_tl_[best.src].reserve(best.start, best.duration);
+  else
+    compute_tl_[best.src].reserve(best.start, best.duration);
+  for (std::uint32_t l = 0; l < best.path.num_links; ++l)
+    link_tl_[best.path.links[l]].reserve(best.start, best.duration);
+  compute_tl_[dst].reserve(best.start, best.duration);
+  state_.add(dst, file, size, best.completion());
+
+  ++totals_.replicas_created;
+  totals_.repair_bytes += size;
+  totals_.repair_seconds += best.duration;
+  if (options_.trace)
+    trace_.push_back({TraceEvent::Kind::kReplicaCreate, wl::kInvalidTask, file,
+                      best.src, dst, best.start, best.completion()});
+  return best.completion();
+}
+
+Result<double> ExecutionEngine::flush_to_home(wl::FileId file, double after,
+                                              double bandwidth_cap) {
+  if (file >= workload_.num_files())
+    return Err("flush_to_home: unknown file " + std::to_string(file));
+  if (home_valid_[file] != 0)
+    return Err("flush_to_home: the home copy of file " + std::to_string(file) +
+               " is already current");
+  if (!(after >= 0.0))
+    return Err("flush_to_home: start floor must be non-negative");
+
+  const double size = workload_.file_size(file);
+  const wl::NodeId home = workload_.file(file).home_storage_node;
+  const auto capped = [&](double path_bw) {
+    return bandwidth_cap > 0.0 ? std::min(path_bw, bandwidth_cap) : path_bw;
+  };
+
+  // Best alive holder of the current version; the write-back reuses the
+  // remote path's pricing in reverse (link bandwidths are symmetric).
+  wl::NodeId src = wl::kInvalidNode;
+  TransferPath path;
+  double start = 0.0;
+  double duration = 0.0;
+  for (wl::NodeId j : state_.holders(file)) {
+    if (!alive_[j]) continue;
+    const TransferPath p = topo_.remote_path(home, j);
+    const double d = size / capped(p.bandwidth);
+    std::vector<Timeline*> tls{&compute_tl_[j]};
+    for (std::uint32_t l = 0; l < p.num_links; ++l)
+      tls.push_back(&link_tl_[p.links[l]]);
+    tls.push_back(&storage_tl_[home]);
+    const double s = earliest_common_free(
+        tls, std::max(after, state_.available_at(j, file)), d);
+    if (s + d > faults_.crash_time(j)) continue;
+    if (src == wl::kInvalidNode || s + d < start + duration - 1e-12 ||
+        (s + d < start + duration + 1e-12 && j < src)) {
+      src = j;
+      path = p;
+      start = s;
+      duration = d;
+    }
+  }
+  if (src == wl::kInvalidNode)
+    return Err("flush_to_home: no alive node holds the current version of "
+               "file " +
+               std::to_string(file) + " (the newest write is lost)");
+
+  compute_tl_[src].reserve(start, duration);
+  for (std::uint32_t l = 0; l < path.num_links; ++l)
+    link_tl_[path.links[l]].reserve(start, duration);
+  storage_tl_[home].reserve(start, duration);
+  home_valid_[file] = 1;
+
+  ++totals_.home_flushes;
+  totals_.repair_bytes += size;
+  totals_.repair_seconds += duration;
+  if (options_.trace)
+    trace_.push_back({TraceEvent::Kind::kReplicaCreate, wl::kInvalidTask, file,
+                      src, home, start, start + duration});
+  return start + duration;
+}
+
 std::vector<wl::TaskId> ExecutionEngine::take_orphaned() {
   std::vector<wl::TaskId> out;
   out.swap(orphaned_);
@@ -855,6 +1073,12 @@ std::string trace_to_csv(const std::vector<TraceEvent>& trace) {
         break;
       case TraceEvent::Kind::kSpeculativeCancel:
         kind = "spec_cancel";
+        break;
+      case TraceEvent::Kind::kReplicaCreate:
+        kind = "replica_create";
+        break;
+      case TraceEvent::Kind::kReplicaInvalidate:
+        kind = "replica_invalidate";
         break;
     }
     auto id = [](auto v) {

@@ -70,7 +70,12 @@ struct EngineOptions {
 // opened (src = primary node, dst = backup node, start = end = the backup's
 // horizon at launch); kSpeculativeCancel marks the losing attempt being cut
 // (src = winning node, dst = losing node, start = cancellation instant,
-// end = the loser's would-have-been completion).
+// end = the loser's would-have-been completion). kReplicaCreate is a
+// background repair copy placed by the replica lifecycle manager (src =
+// source node, dst = destination — a storage node id for home flushes);
+// kReplicaInvalidate marks a cached copy dropped because a task wrote the
+// file (src = writer node, dst = node losing the stale copy, start = end =
+// the write's completion instant).
 struct TraceEvent {
   enum class Kind {
     kRemoteTransfer,
@@ -78,7 +83,9 @@ struct TraceEvent {
     kExec,
     kFailedTransfer,
     kSpeculativeLaunch,
-    kSpeculativeCancel
+    kSpeculativeCancel,
+    kReplicaCreate,
+    kReplicaInvalidate
   };
   Kind kind = Kind::kExec;
   wl::TaskId task = wl::kInvalidTask;  // kExec, or the task whose commit
@@ -130,6 +137,20 @@ struct ExecutionStats {
   // bytes of its in-flight transfers at that instant.
   double wasted_seconds = 0.0;
   double wasted_bytes = 0.0;
+
+  // Replica-lifecycle counters (all zero for output-free workloads with no
+  // replica::ReplicaManager attached). replicas_created / home_flushes /
+  // repair_* count only background traffic placed through stage_replica()
+  // and flush_to_home() — foreground demand replication stays in
+  // replications / replica_bytes, so the two budgets are separable.
+  std::uint64_t replicas_created = 0;      // background copies placed
+  std::uint64_t replicas_invalidated = 0;  // stale copies dropped by writes
+  std::uint64_t home_flushes = 0;          // dirty versions written back home
+  // Reads forced to serve a stale home copy because a write's only current
+  // version vanished (writer crash before a flush): a durability loss.
+  std::uint64_t lost_versions = 0;
+  double repair_bytes = 0.0;
+  double repair_seconds = 0.0;
 
   // Solver observability (filled by the batch driver for IP-backed
   // schedulers; zero for the heuristics). Mirrors lp::SolverStats plus the
@@ -222,6 +243,38 @@ class ExecutionEngine {
   // Tasks orphaned by node crashes since the last call (killed mid-run or
   // never started on a dead node); the caller owns re-scheduling them.
   std::vector<wl::TaskId> take_orphaned();
+
+  // --- Replica lifecycle surface (driven by replica::ReplicaManager). ---
+  //
+  // Version epochs: each write to a file bumps its epoch and eagerly drops
+  // every cached copy on other nodes, so ClusterState::has() always implies
+  // "holds the CURRENT version". The home storage copy cannot be dropped —
+  // it goes stale (home_valid() false) until flush_to_home() re-syncs it.
+  std::uint32_t file_epoch(wl::FileId f) const { return epoch_[f]; }
+  bool home_valid(wl::FileId f) const { return home_valid_[f] != 0; }
+
+  // Schedules one background repair copy of `file` onto alive compute node
+  // `dst`, sourced from the best current holder (or the home storage node
+  // when its copy is valid), starting no earlier than `after`. The transfer
+  // reserves the same port/link Timelines as foreground traffic, with its
+  // duration floored by `bandwidth_cap` bytes/s (<= 0 = path bandwidth
+  // only) so repair competes honestly without monopolising links. Repair
+  // never evicts: a destination without free space is a typed error, as are
+  // a dead/duplicate destination and the absence of any valid source.
+  // Charges repair counters on totals() and leaves makespan() untouched.
+  // Returns the copy's completion instant.
+  Result<double> stage_replica(wl::FileId file, wl::NodeId dst, double after,
+                               double bandwidth_cap);
+
+  // Writes the current (dirty) version of `file` back to its home storage
+  // node from the best alive holder, reserving source port, path links and
+  // the home storage port (the remote path priced in reverse — link
+  // bandwidths are symmetric in the topology model). On success the home
+  // copy is valid again. Errors when the home is already valid or no alive
+  // node holds the current version (the version is lost — reads fall back
+  // to the stale home and count lost_versions).
+  Result<double> flush_to_home(wl::FileId file, double after,
+                               double bandwidth_cap);
 
   // Execution trace (empty unless EngineOptions::trace was set).
   const std::vector<TraceEvent>& trace() const { return trace_; }
@@ -349,6 +402,12 @@ class ExecutionEngine {
 
   ClusterState state_;
   std::vector<double> pending_requests_;
+  // Mutable-file model: per-file version epoch (bumped by each write) and
+  // home-copy validity (0 while the home storage copy lags the newest
+  // write). All-zero epochs / all-valid homes for output-free workloads
+  // keep every read path bit-identical to the immutable-file engine.
+  std::vector<std::uint32_t> epoch_;
+  std::vector<char> home_valid_;
   std::vector<bool> executed_;
   std::vector<bool> was_evicted_;  // per file: evicted at least once
   std::vector<bool> seeded_;       // per file: carried in by seed_cache()

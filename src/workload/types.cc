@@ -15,6 +15,9 @@ Workload::Workload(std::vector<TaskInfo> tasks, std::vector<FileInfo> files)
     auto& fs = tasks_[i].files;
     std::sort(fs.begin(), fs.end());
     fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+    auto& os = tasks_[i].outputs;
+    std::sort(os.begin(), os.end());
+    os.erase(std::unique(os.begin(), os.end()), os.end());
   }
   for (std::size_t i = 0; i < files_.size(); ++i)
     files_[i].id = static_cast<FileId>(i);
@@ -31,12 +34,17 @@ TaskId Workload::append_tasks(std::vector<TaskInfo> tasks) {
     auto& fs = t.files;
     std::sort(fs.begin(), fs.end());
     fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+    auto& os = t.outputs;
+    std::sort(os.begin(), os.end());
+    os.erase(std::unique(os.begin(), os.end()), os.end());
     BSIO_CHECK_MSG(t.compute_seconds >= 0.0, "negative compute time");
     for (FileId f : fs) {
       BSIO_CHECK_MSG(f < files_.size(),
                      "appended task references unknown file");
       tasks_of_file_[f].push_back(t.id);
     }
+    for (FileId f : os)
+      BSIO_CHECK_MSG(f < files_.size(), "appended task writes unknown file");
     tasks_.push_back(std::move(t));
   }
   return first;
@@ -87,6 +95,12 @@ void Workload::validate() const {
         std::adjacent_find(t.files.begin(), t.files.end()) == t.files.end(),
         "task file list must be unique");
     for (FileId f : t.files) BSIO_CHECK(f < files_.size());
+    BSIO_CHECK_MSG(std::is_sorted(t.outputs.begin(), t.outputs.end()),
+                   "task output list must be sorted");
+    BSIO_CHECK_MSG(std::adjacent_find(t.outputs.begin(), t.outputs.end()) ==
+                       t.outputs.end(),
+                   "task output list must be unique");
+    for (FileId f : t.outputs) BSIO_CHECK(f < files_.size());
   }
 }
 

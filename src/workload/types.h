@@ -32,6 +32,14 @@ struct TaskInfo {
   double compute_seconds = 0.0;
   // Distinct files this task reads (sorted ascending, no duplicates).
   std::vector<FileId> files;
+  // Files this task WRITES when it completes (sorted ascending, no
+  // duplicates; may overlap `files` — a read-modify-write). A write bumps
+  // the file's version epoch: every cached copy on other nodes goes stale
+  // and the home storage copy is dirty until the replica manager flushes
+  // it back (see sim::ExecutionEngine and replica::ReplicaManager). Tasks
+  // with no outputs — every pre-existing workload — leave the engine's
+  // behaviour bit-identical to the immutable-file model.
+  std::vector<FileId> outputs;
 };
 
 class Workload {

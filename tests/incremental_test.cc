@@ -171,10 +171,10 @@ wl::Workload gate_workload() {
   for (wl::FileId f = 0; f < 6; ++f)
     files.push_back({f, 10.0 * sim::kMB, static_cast<wl::NodeId>(f % 2)});
   std::vector<wl::TaskInfo> tasks;
-  tasks.push_back({0, 1.0, {0, 1}});
-  tasks.push_back({1, 1.0, {0, 2}});
-  tasks.push_back({2, 1.0, {3, 4}});
-  tasks.push_back({3, 1.0, {0, 5}});
+  tasks.push_back({0, 1.0, {0, 1}, {}});
+  tasks.push_back({1, 1.0, {0, 2}, {}});
+  tasks.push_back({2, 1.0, {3, 4}, {}});
+  tasks.push_back({3, 1.0, {0, 5}, {}});
   return wl::Workload(tasks, files);
 }
 
@@ -274,7 +274,7 @@ TEST(CommitHorizon, FreezeRuleAndEnsureProgress) {
   // strictly increase.
   std::vector<wl::FileInfo> files = {{0, 50.0 * sim::kMB, 0}};
   std::vector<wl::TaskInfo> tasks = {
-      {0, 10.0, {0}}, {1, 10.0, {0}}, {2, 10.0, {0}}};
+      {0, 10.0, {0}, {}}, {1, 10.0, {0}, {}}, {2, 10.0, {0}, {}}};
   const wl::Workload w(tasks, files);
   const sim::ClusterConfig c = small_cluster(1, 1);
   sched::MinMinScheduler mm;

@@ -63,6 +63,8 @@ TEST(Trace, EventsMatchStats) {
       case sim::TraceEvent::Kind::kFailedTransfer:
       case sim::TraceEvent::Kind::kSpeculativeLaunch:
       case sim::TraceEvent::Kind::kSpeculativeCancel:
+      case sim::TraceEvent::Kind::kReplicaCreate:
+      case sim::TraceEvent::Kind::kReplicaInvalidate:
         break;
     }
   }
